@@ -1,0 +1,69 @@
+"""Benchmark: Fig. 14(a) — distribution of the number of corrections.
+
+The paper plots, per problem, how many incorrect attempts needed 1, 2, 3
+or 4 coordinated corrections (log scale, decreasing). We regenerate the
+histogram from the Table 1 runs and time a multi-correction solve — the
+case that motivates symbolic search ("a significant fraction of the
+problems require 3 and 4 coordinated corrections").
+"""
+
+from benchmarks.conftest import TIMEOUT_S, save_result
+from repro.core import generate_feedback
+from repro.engines import BoundedVerifier
+from repro.problems import get_problem
+
+# The Fig. 2(a) submission under the Section 2.1 simple model needs three
+# coordinated corrections — the paper's own multi-correction exemplar.
+FIG2A = """def computeDeriv(poly):
+    deriv = []
+    zero = 0
+    if (len(poly) == 1):
+        return deriv
+    for e in range(0,len(poly)):
+        if (poly[e] == 0):
+            zero += 1
+        else:
+            deriv.append(poly[e]*e)
+    return deriv
+"""
+
+SIMPLE_MODEL = """
+rule RETR: return a -> return [0]
+rule RANR: range(a1, a2) -> range(a1 + 1, a2)
+rule COMPR: a0 == a1 -> False
+"""
+
+
+def test_three_coordinated_corrections(benchmark):
+    from repro.eml import parse_error_model
+
+    problem = get_problem("compDeriv-6.00x")
+    model = parse_error_model(SIMPLE_MODEL)
+    verifier = BoundedVerifier(problem.spec)
+    verifier.inputs
+
+    def solve():
+        return generate_feedback(
+            FIG2A, problem.spec, model, timeout_s=TIMEOUT_S, verifier=verifier
+        )
+
+    report = benchmark.pedantic(solve, rounds=1, iterations=1)
+    assert report.status == "fixed"
+    assert report.cost == 3
+
+
+def test_corrections_distribution(benchmark, table1_runs):
+    from repro.harness import fig14a_distribution, format_fig14a
+
+    distributions = benchmark.pedantic(
+        lambda: fig14a_distribution(table1_runs), rounds=1, iterations=1
+    )
+    text = format_fig14a(distributions)
+    save_result("fig14a", text)
+    totals = [
+        sum(h.get(k, 0) for h in distributions.values()) for k in (1, 2, 3, 4)
+    ]
+    # The paper's shape: single corrections dominate; counts decrease
+    # (log-scale) with the number of corrections.
+    assert totals[0] > 0
+    assert totals[0] >= totals[1] >= totals[3]

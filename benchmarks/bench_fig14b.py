@@ -1,0 +1,39 @@
+"""Benchmark: Fig. 14(b) — corrected attempts vs error-model size.
+
+The paper adds rules to each problem's model one at a time (E0 ⊂ E1 ⊂ ...)
+and shows the corrected count growing — "adding a single rule to the error
+model can lead to correction of hundreds of attempts" (repetitive-mistakes
+hypothesis). We replay that with rule prefixes of the shipped models.
+"""
+
+import pytest
+
+from benchmarks.conftest import TIMEOUT_S, save_result
+from repro.harness import format_fig14b, run_fig14b
+from repro.problems import get_problem
+
+PROGRESSION_PROBLEMS = ["compDeriv-6.00x", "iterPower-6.00x"]
+
+
+@pytest.mark.parametrize("name", PROGRESSION_PROBLEMS)
+def test_model_growth(benchmark, name, bench_config):
+    problem = get_problem(name)
+
+    def run():
+        return run_fig14b(
+            problem,
+            corpus_size=min(bench_config["corpus_size"], 6),
+            seed=bench_config["seed"],
+            timeout_s=min(TIMEOUT_S, 15),
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result(f"fig14b_{name}", format_fig14b(name, results))
+    fixed_counts = [fixed for _, fixed in results]
+    # E0 (no rules) fixes nothing; the full model fixes the most. Growth
+    # is near-monotone: a larger rule set can only widen the space, but a
+    # wider space may occasionally push one fix past the timeout.
+    assert fixed_counts[0] == 0
+    assert fixed_counts[-1] > 0
+    assert fixed_counts[-1] >= max(fixed_counts) - 1
+    assert all(b >= a - 1 for a, b in zip(fixed_counts, fixed_counts[1:]))

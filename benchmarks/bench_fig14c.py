@@ -1,0 +1,37 @@
+"""Benchmark: Fig. 14(c) — generalization of the computeDeriv error model.
+
+The paper runs the compute-deriv model on five other problems: it fixes a
+fraction of their incorrect attempts (useful as a starting model) but
+fewer than each problem's specialized model.
+"""
+
+from benchmarks.conftest import TIMEOUT_S, save_result
+from repro.harness import format_fig14c, run_fig14c
+
+TARGETS = (
+    "evalPoly-6.00x",
+    "iterGCD-6.00x",
+    "oddTuples-6.00x",
+    "recurPower-6.00x",
+    "iterPower-6.00x",
+)
+
+
+def test_generalization(benchmark, bench_config):
+    def run():
+        return run_fig14c(
+            target_names=TARGETS,
+            corpus_size=min(bench_config["corpus_size"], 6),
+            seed=bench_config["seed"],
+            timeout_s=min(TIMEOUT_S, 15),
+        )
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    save_result("fig14c", format_fig14c(results))
+    # Shape assertions per the paper: the specialized model never loses to
+    # the borrowed computeDeriv model, and wins somewhere overall.
+    for name, deriv_fixed, own_fixed in results:
+        assert own_fixed >= deriv_fixed, name
+    assert sum(own for _, _, own in results) > sum(
+        deriv for _, deriv, _ in results
+    )

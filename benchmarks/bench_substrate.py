@@ -1,0 +1,84 @@
+"""Substrate micro-benchmarks: interpreter, SAT solver, transformer.
+
+Not a paper artifact, but the quantities every experiment above is built
+from — regressions here show up multiplied by corpus sizes.
+"""
+
+import random
+
+import pytest
+
+from repro.eml import apply_error_model
+from repro.mpy import parse_program, run_function
+from repro.problems import get_problem
+from repro.sat import SAT, CountingNetwork, Solver
+
+DERIV = get_problem("compDeriv-6.00x")
+
+
+def test_interpreter_throughput(benchmark):
+    module = parse_program(DERIV.spec.reference_source)
+
+    def run():
+        return run_function(
+            module, DERIV.spec.function, ([3, -2, 1, 4][:3],)
+        ).value
+
+    result = benchmark(run)
+    assert result == [-2, 2]
+
+
+def test_transformer_throughput(benchmark):
+    module = parse_program(
+        """def computeDeriv(poly):
+    deriv = []
+    for i in range(1, len(poly)):
+        deriv.append(poly[i] * i)
+    if len(poly) == 1:
+        return [0]
+    return deriv
+"""
+    )
+
+    def transform():
+        return apply_error_model(module, DERIV.model, DERIV.spec.param_type_map())
+
+    tilde, registry = benchmark(transform)
+    assert len(registry) > 5
+
+
+def test_sat_solver_3sat(benchmark):
+    rng = random.Random(11)
+    num_vars = 60
+    clauses = [
+        [rng.randint(1, num_vars) * rng.choice([1, -1]) for _ in range(3)]
+        for _ in range(int(num_vars * 4.0))
+    ]
+
+    def solve():
+        solver = Solver()
+        for _ in range(num_vars):
+            solver.new_var()
+        for clause in clauses:
+            solver.add_clause(clause)
+        return solver.solve()
+
+    result = benchmark(solve)
+    assert result in ("sat", "unsat")
+
+
+def test_counting_network_bounds(benchmark):
+    def run():
+        solver = Solver()
+        inputs = [solver.new_var() for _ in range(40)]
+        network = CountingNetwork(solver, inputs)
+        solver.add_clause(inputs[:5])
+        outcomes = []
+        for bound in (10, 5, 2, 1):
+            outcomes.append(
+                solver.solve(assumptions=network.bound_assumption(bound))
+            )
+        return outcomes
+
+    outcomes = benchmark(run)
+    assert outcomes[0] == SAT

@@ -1,0 +1,73 @@
+"""Shared benchmark configuration.
+
+Environment knobs (defaults keep a full ``pytest benchmarks/
+--benchmark-only`` run laptop-sized; EXPERIMENTS.md records both scales):
+
+- ``REPRO_BENCH_CORPUS``  — incorrect submissions per problem (default 10)
+- ``REPRO_BENCH_TIMEOUT`` — per-submission solver budget in s (default 30)
+- ``REPRO_BENCH_PROBLEMS``— comma list of problems, or "all"
+  (default: a representative 8-problem subset spanning Table 1)
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+
+import pytest
+
+CORPUS_SIZE = int(os.environ.get("REPRO_BENCH_CORPUS", "8"))
+TIMEOUT_S = float(os.environ.get("REPRO_BENCH_TIMEOUT", "20"))
+SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
+
+DEFAULT_PROBLEMS = [
+    "prodBySum-6.00",
+    "compDeriv-6.00x",
+    "evalPoly-6.00x",
+    "oddTuples-6.00x",
+    "iterPower-6.00x",
+    "recurPower-6.00x",
+    "iterGCD-6.00x",
+    "hangman1-str-6.00x",
+]
+
+_env_problems = os.environ.get("REPRO_BENCH_PROBLEMS", "")
+if _env_problems == "all":
+    from repro.problems import all_problems
+
+    PROBLEMS = [p.name for p in all_problems()]
+elif _env_problems:
+    PROBLEMS = _env_problems.split(",")
+else:
+    PROBLEMS = DEFAULT_PROBLEMS
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+RESULTS_DIR.mkdir(exist_ok=True)
+
+
+def save_result(name: str, text: str) -> None:
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n{text}\n")
+
+
+@pytest.fixture(scope="session")
+def bench_config():
+    return {
+        "corpus_size": CORPUS_SIZE,
+        "timeout_s": TIMEOUT_S,
+        "seed": SEED,
+        "problems": PROBLEMS,
+    }
+
+
+@pytest.fixture(scope="session")
+def table1_runs(bench_config):
+    """Session-cached Table 1 runs shared by several benchmarks."""
+    from repro.harness import run_table1
+
+    return run_table1(
+        corpus_size=bench_config["corpus_size"],
+        seed=bench_config["seed"],
+        timeout_s=bench_config["timeout_s"],
+        problems=bench_config["problems"],
+    )

@@ -1,0 +1,79 @@
+"""Classroom grading: push a whole submission batch through the pipeline.
+
+Simulates the 6.00x grading scenario the paper motivates: a stack of
+submissions for one problem set arrives; the tool classifies each
+(syntax error / correct / fixable with feedback / needs human attention)
+and produces the per-problem statistics of the paper's Table 1.
+
+Run:  python examples/classroom_grading.py [problem-name] [corpus-size]
+"""
+
+import sys
+import time
+from collections import Counter
+
+from repro.core import generate_feedback, grade_submission
+from repro.problems import get_problem
+from repro.studentgen import generate_corpus
+
+
+def grade_batch(problem_name: str = "compDeriv-6.00x", corpus_size: int = 10):
+    problem = get_problem(problem_name)
+    spec, model = problem.spec, problem.model
+
+    # A synthetic batch standing in for real student submissions: incorrect
+    # attempts of several flavors, correct ones, and syntax errors.
+    corpus = generate_corpus(
+        problem, incorrect_count=corpus_size, correct_count=3, syntax_count=2
+    )
+    batch = (
+        [s.source for s in corpus.syntax_errors]
+        + [s.source for s in corpus.correct]
+        + [s.source for s in corpus.incorrect]
+    )
+    print(f"grading {len(batch)} submissions for {problem.name}\n")
+
+    buckets: Counter = Counter()
+    feedback_times = []
+    for index, source in enumerate(batch):
+        verdict = grade_submission(source, spec)
+        if verdict != "incorrect":
+            buckets[verdict] += 1
+            print(f"  #{index:02d} {verdict}")
+            continue
+        started = time.monotonic()
+        report = generate_feedback(source, spec, model, timeout_s=30)
+        feedback_times.append(time.monotonic() - started)
+        buckets[report.status] += 1
+        if report.fixed:
+            headline = report.items[0].render() if report.items else ""
+            print(
+                f"  #{index:02d} fixable with {report.cost} correction(s): "
+                f"{headline[:70]}"
+            )
+        else:
+            print(f"  #{index:02d} {report.status} (needs human attention)")
+
+    print("\n== batch summary ==")
+    for status, count in sorted(buckets.items()):
+        print(f"  {status:16s} {count}")
+    incorrect_total = sum(
+        buckets[s] for s in ("fixed", "no_fix", "timeout")
+    )
+    if incorrect_total:
+        rate = 100.0 * buckets["fixed"] / incorrect_total
+        print(
+            f"\nfeedback generated for {rate:.0f}% of incorrect submissions"
+            f" (paper Table 1 overall: 64%)"
+        )
+    if feedback_times:
+        print(
+            f"average feedback time {sum(feedback_times)/len(feedback_times):.2f}s"
+            f" (paper: ~10s on a 2013 Xeon)"
+        )
+
+
+if __name__ == "__main__":
+    name = sys.argv[1] if len(sys.argv) > 1 else "compDeriv-6.00x"
+    size = int(sys.argv[2]) if len(sys.argv) > 2 else 10
+    grade_batch(name, size)

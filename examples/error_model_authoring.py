@@ -1,0 +1,82 @@
+"""Error-model authoring: grow a model rule by rule (paper Fig. 14(b)).
+
+The paper's workflow for instructors: start with an empty model, look at a
+few incorrect submissions the tool cannot fix yet, add one rule capturing
+that mistake class, and watch the corrected count climb — "only a few tens
+of incorrect solutions can provide enough information to create an error
+model that can automatically provide feedback for thousands".
+
+This example replays that loop on a synthetic iterPower corpus, printing
+the fix count after each added rule and the feedback unlocked by it.
+
+Run:  python examples/error_model_authoring.py
+"""
+
+from repro.core import generate_feedback
+from repro.eml import ErrorModel, parse_error_model
+from repro.engines import BoundedVerifier
+from repro.problems import get_problem
+from repro.studentgen import generate_corpus
+
+#: Rules added one at a time, each targeting one observed mistake class.
+RULE_STAGES = [
+    (
+        "INITR — wrong accumulator initialization (result = 0)",
+        "rule INITR: v = n -> v = {n + 1, n - 1, 0, 1}",
+    ),
+    (
+        "AUGM — wrong accumulation operator (result = result + base)",
+        "rule AUGM: v = v * a -> v = {v + a, v * v, v ** a}",
+    ),
+    (
+        "RANR1 — wrong iteration count (range(exp - 1))",
+        "rule RANR1: range(a0) -> range({a0 + 1, a0 - 1})",
+    ),
+    (
+        "COMPR — wrong loop condition",
+        "rule COMPR: anycmp(a0, a1) -> "
+        "{cmpset({a0', ?a0}, {a1', 0, 1, ?a1}), True, False}",
+    ),
+]
+
+
+def main() -> None:
+    problem = get_problem("iterPower-6.00x")
+    corpus = generate_corpus(problem, incorrect_count=12, seed=7)
+    verifier = BoundedVerifier(problem.spec)
+    print(
+        f"authoring an error model for {problem.name} against "
+        f"{len(corpus.incorrect)} incorrect submissions\n"
+    )
+
+    rules_so_far: list = []
+    previously_fixed: set = set()
+    for stage, (label, rule_text) in enumerate(RULE_STAGES, start=1):
+        rules_so_far.append(rule_text)
+        model = parse_error_model("\n".join(rules_so_far), name=f"E{stage}")
+        fixed_now = set()
+        for index, submission in enumerate(corpus.incorrect):
+            report = generate_feedback(
+                submission.source,
+                problem.spec,
+                model,
+                timeout_s=20,
+                verifier=verifier,
+            )
+            if report.fixed:
+                fixed_now.add(index)
+        newly = fixed_now - previously_fixed
+        print(f"E{stage}: + {label}")
+        print(
+            f"    fixes {len(fixed_now)}/{len(corpus.incorrect)} "
+            f"({len(newly)} newly unlocked)"
+        )
+        previously_fixed = fixed_now
+    print(
+        "\nEach added rule monotonically grows the corrected set — the "
+        "repetitive-mistakes effect of paper Fig. 14(b)."
+    )
+
+
+if __name__ == "__main__":
+    main()

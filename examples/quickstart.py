@@ -1,0 +1,80 @@
+"""Quickstart: generate feedback for one incorrect submission.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro.core import ProblemSpec, generate_feedback
+from repro.eml import parse_error_model
+from repro.mpy.values import Bounds
+
+# 1. The instructor writes a reference implementation. Argument types use
+#    the paper's name-suffix convention: `poly_list_int` is a list of ints
+#    named `poly`.
+REFERENCE = """\
+def computeDeriv_list_int(poly_list_int):
+    result = []
+    for i in range(len(poly_list_int)):
+        result += [i * poly_list_int[i]]
+    if len(poly_list_int) == 1:
+        return result
+    return result[1:]
+"""
+
+spec = ProblemSpec.from_typed_reference(
+    "computeDeriv",
+    REFERENCE,
+    bounds=Bounds(int_bits=3, max_list_len=3),
+    description="derivative of a polynomial given as a coefficient list",
+)
+
+# 2. The instructor writes an error model: rewrite rules describing the
+#    corrections students typically need (EML, paper Section 3).
+MODEL = parse_error_model(
+    """
+model computeDeriv-quickstart
+
+rule RETR: return a -> return [0]
+  msg: "In the return statement {orig} in line {line}, return [0] instead."
+rule RANR: range(a0, a1) -> range({0, 1, a0 + 1, a0 - 1}, {a1 + 1, a1 - 1})
+  msg: "In the expression {orig} in line {line}, change it to {new}."
+rule COMPR: anycmp(a0, a1) -> {cmpset({a0', ?a0}, {a1', 0, 1, ?a1}), True, False}
+  msg: "In the comparison {orig} in line {line}, change it to {new}."
+"""
+)
+
+# 3. A student submits an incorrect attempt (paper Fig. 2(a), from the
+#    6.00x discussion forum).
+SUBMISSION = """\
+def computeDeriv(poly):
+    deriv = []
+    zero = 0
+    if (len(poly) == 1):
+        return deriv
+    for e in range(0,len(poly)):
+        if (poly[e] == 0):
+            zero += 1
+        else:
+            deriv.append(poly[e]*e)
+    return deriv
+"""
+
+
+def main() -> None:
+    report = generate_feedback(SUBMISSION, spec, MODEL, timeout_s=60)
+
+    print("== student submission ==")
+    print(SUBMISSION)
+    print("== generated feedback ==")
+    print(report.render())
+    print()
+    print(
+        f"[status={report.status}, corrections={report.cost}, "
+        f"provably minimal={report.minimal}, {report.wall_time:.2f}s]"
+    )
+    if report.fixed_source:
+        print("\n== corrected program (verified equivalent on all bounded inputs) ==")
+        print(report.fixed_source)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,41 @@
+"""repro: automated feedback generation for introductory programming
+assignments — a from-scratch reproduction of Singh, Gulwani &
+Solar-Lezama (PLDI 2013).
+
+Most users need three names::
+
+    from repro import ProblemSpec, parse_error_model, generate_feedback
+
+    spec = ProblemSpec.from_typed_reference("myproblem", reference_source)
+    model = parse_error_model(eml_text)
+    report = generate_feedback(student_source, spec, model)
+    print(report.render())
+
+The benchmark problems of the paper's Table 1 live in
+:mod:`repro.problems`; the experiment drivers that regenerate every table
+and figure live in :mod:`repro.harness`.
+"""
+
+from repro.core import (
+    FeedbackItem,
+    FeedbackLevel,
+    FeedbackReport,
+    ProblemSpec,
+    generate_feedback,
+    grade_submission,
+)
+from repro.eml import ErrorModel, parse_error_model
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ProblemSpec",
+    "generate_feedback",
+    "grade_submission",
+    "FeedbackReport",
+    "FeedbackItem",
+    "FeedbackLevel",
+    "ErrorModel",
+    "parse_error_model",
+    "__version__",
+]

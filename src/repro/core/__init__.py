@@ -1,0 +1,23 @@
+"""The feedback pipeline: the paper's primary contribution.
+
+- :mod:`repro.core.spec` — problem specifications (reference implementation,
+  typed arguments, verification bounds),
+- :mod:`repro.core.rewriter` — the Program Rewriter of Fig. 3,
+- :mod:`repro.core.feedback` — natural-language feedback generation with
+  configurable feedback levels (Section 2),
+- :mod:`repro.core.api` — :func:`generate_feedback`, the one-call entry
+  point tying frontend, rewriter, solver and feedback generator together.
+"""
+
+from repro.core.spec import ProblemSpec
+from repro.core.api import FeedbackReport, generate_feedback, grade_submission
+from repro.core.feedback import FeedbackItem, FeedbackLevel
+
+__all__ = [
+    "ProblemSpec",
+    "generate_feedback",
+    "grade_submission",
+    "FeedbackReport",
+    "FeedbackItem",
+    "FeedbackLevel",
+]

@@ -1,0 +1,170 @@
+"""The public entry point: :func:`generate_feedback`.
+
+Mirrors the paper's tool end to end (Fig. 3): frontend → Program Rewriter
+→ solver (CEGISMIN by default) → Feedback Generator. The report records
+which stage classified the submission, matching the paper's evaluation
+categories (syntax errors, unsupported features, correct, fixed, no-fix,
+timeout — Section 5.3).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.feedback import (
+    FeedbackGenerator,
+    FeedbackItem,
+    FeedbackLevel,
+    render_report,
+)
+from repro.core.rewriter import SignatureError, rewrite_submission
+from repro.core.spec import ProblemSpec
+from repro.eml.rules import ErrorModel
+from repro.engines.base import Engine, EngineResult
+from repro.engines.cegismin import CegisMinEngine
+from repro.engines.verify import BoundedVerifier, outcome_of
+from repro.mpy import parse_program, to_source
+from repro.mpy.errors import FrontendError, UnsupportedFeature
+from repro.mpy.interp import Interpreter
+from repro.tilde.nodes import instantiate
+
+# Report statuses (the paper's test-set categories).
+SYNTAX_ERROR = "syntax_error"
+UNSUPPORTED = "unsupported"
+BAD_SIGNATURE = "bad_signature"
+ALREADY_CORRECT = "already_correct"
+FIXED = "fixed"
+NO_FIX = "no_fix"
+TIMEOUT = "timeout"
+
+
+@dataclass
+class FeedbackReport:
+    """Everything the tool can say about one submission."""
+
+    status: str
+    problem: str
+    items: List[FeedbackItem] = field(default_factory=list)
+    cost: Optional[int] = None
+    minimal: bool = False
+    fixed_source: Optional[str] = None
+    wall_time: float = 0.0
+    engine_result: Optional[EngineResult] = None
+    detail: str = ""
+
+    @property
+    def fixed(self) -> bool:
+        return self.status == FIXED
+
+    def render(self, level: FeedbackLevel = FeedbackLevel.FULL) -> str:
+        if self.status == ALREADY_CORRECT:
+            return "The program is correct."
+        if self.status == FIXED:
+            return render_report(self.items, level)
+        if self.status == NO_FIX:
+            return (
+                "The tool could not correct this program with the current "
+                "error model."
+            )
+        return f"Could not analyze the submission: {self.status} {self.detail}".strip()
+
+
+def _verifier_cache(spec: ProblemSpec) -> BoundedVerifier:
+    cache = getattr(spec, "_verifier_cache", None)
+    if cache is None:
+        cache = BoundedVerifier(spec)
+        object.__setattr__(spec, "_verifier_cache", cache)
+    return cache
+
+
+def grade_submission(source: str, spec: ProblemSpec) -> str:
+    """Classify a submission without attempting correction.
+
+    Returns one of: ``syntax_error``, ``unsupported``, ``bad_signature``,
+    ``already_correct`` or ``incorrect`` — the buckets of Table 1's
+    test-set preparation.
+    """
+    try:
+        module = parse_program(source)
+    except UnsupportedFeature:
+        return UNSUPPORTED
+    except FrontendError:
+        return SYNTAX_ERROR
+    from repro.core.rewriter import normalize_submission
+
+    try:
+        normalized, _ = normalize_submission(module, spec)
+    except SignatureError:
+        return BAD_SIGNATURE
+    verifier = _verifier_cache(spec)
+    interp = Interpreter(normalized, fuel=spec.fuel)
+
+    def run(args):
+        return outcome_of(
+            lambda: interp.call(spec.student_function, args),
+            spec.compare_stdout,
+        )
+
+    if verifier.is_equivalent(run):
+        return ALREADY_CORRECT
+    return "incorrect"
+
+
+def generate_feedback(
+    source: str,
+    spec: ProblemSpec,
+    model: ErrorModel,
+    engine: Optional[Engine] = None,
+    timeout_s: float = 60.0,
+    verifier: Optional[BoundedVerifier] = None,
+) -> FeedbackReport:
+    """Run the full pipeline on one student submission."""
+    start = time.monotonic()
+    engine = engine or CegisMinEngine()
+
+    def report(status: str, **kwargs) -> FeedbackReport:
+        return FeedbackReport(
+            status=status,
+            problem=spec.name,
+            wall_time=time.monotonic() - start,
+            **kwargs,
+        )
+
+    try:
+        module = parse_program(source)
+    except UnsupportedFeature as exc:
+        return report(UNSUPPORTED, detail=str(exc))
+    except FrontendError as exc:
+        return report(SYNTAX_ERROR, detail=str(exc))
+
+    verifier = verifier or _verifier_cache(spec)
+
+    try:
+        tilde, registry = rewrite_submission(module, spec, model)
+    except SignatureError as exc:
+        return report(BAD_SIGNATURE, detail=str(exc))
+
+    result = engine.solve(tilde, registry, spec, verifier, timeout_s=timeout_s)
+
+    if result.status == "fixed":
+        assignment = result.assignment or {}
+        if result.cost == 0:
+            return report(ALREADY_CORRECT, engine_result=result)
+        generator = FeedbackGenerator(registry, model)
+        items = generator.items(assignment)
+        fixed_module = instantiate(tilde, assignment)
+        return report(
+            FIXED,
+            items=items,
+            cost=result.cost,
+            minimal=result.minimal,
+            fixed_source=to_source(fixed_module),
+            engine_result=result,
+        )
+    if result.status == "no_fix":
+        return report(NO_FIX, engine_result=result)
+    if result.status in ("timeout", "exhausted"):
+        return report(TIMEOUT, engine_result=result)
+    return report(NO_FIX, engine_result=result, detail=result.status)

@@ -1,0 +1,273 @@
+"""Natural-language feedback generation (paper Sections 2 and 4.3).
+
+After the solver finds a minimal assignment, each applied correction (an
+active, non-free hole set to a non-default branch) becomes one feedback
+item. An item carries the paper's four pieces of information:
+
+1. the *location* (line number),
+2. the *problematic expression* on that line,
+3. the *sub-expression* to modify,
+4. the *new value*.
+
+The feedback-level parameter controls which pieces are revealed — "the
+feedback generator is parameterized with a feedback-level parameter ...
+depending on how much information the instructor is willing to provide"
+(Section 2).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.eml.rules import ErrorModel, InsertTopRule, RewriteRule
+from repro.mpy import nodes as N
+from repro.mpy.printer import to_source
+from repro.tilde.nodes import (
+    ChoiceBinOp,
+    ChoiceCompare,
+    ChoiceExpr,
+    ChoiceStmt,
+    HoleInfo,
+    HoleRegistry,
+    instantiate,
+    instantiate_block,
+)
+
+
+class FeedbackLevel(enum.IntEnum):
+    """How much of the correction to reveal to the student."""
+
+    LOCATION = 1  # line number only
+    EXPRESSION = 2  # + the problematic expression
+    SUBEXPRESSION = 3  # + what must change
+    FULL = 4  # + the corrected value
+
+
+@dataclass(frozen=True)
+class FeedbackItem:
+    """One correction, renderable at any feedback level."""
+
+    line: Optional[int]
+    rule: str
+    kind: str  # "expression" | "compare-op" | "statement" | "insert" | "remove"
+    original: str
+    replacement: str
+    message: str
+
+    def render(self, level: FeedbackLevel = FeedbackLevel.FULL) -> str:
+        where = f"in line {self.line}" if self.line is not None else ""
+        if level is FeedbackLevel.LOCATION:
+            return f"There is an error {where}.".replace("  ", " ")
+        if level is FeedbackLevel.EXPRESSION:
+            return f"Check the expression {self.original} {where}.".replace(
+                "  ", " "
+            )
+        if level is FeedbackLevel.SUBEXPRESSION:
+            if self.kind == "insert":
+                return f"Something is missing at the top of the function."
+            if self.kind == "remove":
+                return f"The statement {self.original} {where} is not needed."
+            return (
+                f"In the expression {self.original} {where}, "
+                f"{self.original} needs to change."
+            )
+        return self.message
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def _format_message(
+    template: Optional[str],
+    *,
+    line,
+    orig: str,
+    new: str,
+    kind: str,
+    old_op: str = "",
+    new_op: str = "",
+) -> str:
+    if template:
+        return template.format(
+            line=line, orig=orig, new=new, old_op=old_op, new_op=new_op
+        )
+    where = f" in line {line}" if line is not None else ""
+    if kind == "compare-op":
+        return (
+            f"In the comparison expression {orig}{where}, change operator "
+            f"{old_op} to {new_op}."
+        )
+    if kind == "arith-op":
+        return (
+            f"In the expression {orig}{where}, change operator "
+            f"{old_op} to {new_op}."
+        )
+    if kind == "insert":
+        return f"Add the following at the top of the function: {new}"
+    if kind == "remove":
+        return f"Remove the statement {orig}{where}."
+    if kind == "statement":
+        return f"Replace the statement {orig}{where} with {new}."
+    return f"In the expression {orig}{where}, replace {orig} by {new}."
+
+
+class FeedbackGenerator:
+    """Maps solver assignments back to natural-language feedback."""
+
+    def __init__(self, registry: HoleRegistry, model: Optional[ErrorModel] = None):
+        self.registry = registry
+        self.model = model
+
+    def _rule_message(self, rule_name: str) -> Optional[str]:
+        if self.model is None:
+            return None
+        try:
+            rule = self.model.rule_named(rule_name)
+        except KeyError:
+            return None
+        return rule.message
+
+    def items(self, assignment: Dict[int, int]) -> List[FeedbackItem]:
+        """One feedback item per applied correction, in line order."""
+        items: List[FeedbackItem] = []
+        for info in sorted(
+            self.registry.holes(), key=lambda h: (h.line or 0, h.cid)
+        ):
+            branch = assignment.get(info.cid, 0)
+            if branch == 0 or info.free:
+                continue
+            if not self._active(info, assignment):
+                continue
+            items.append(self._item_for(info, branch, assignment))
+        return items
+
+    def _active(self, info: HoleInfo, assignment: Dict[int, int]) -> bool:
+        parent = info.parent
+        while parent is not None:
+            parent_cid, parent_branch = parent
+            if assignment.get(parent_cid, 0) != parent_branch:
+                return False
+            parent = self.registry.info(parent_cid).parent
+        return True
+
+    def _item_for(
+        self, info: HoleInfo, branch: int, assignment: Dict[int, int]
+    ) -> FeedbackItem:
+        node = info.node
+        rule_name = (
+            info.branch_rules[branch]
+            if branch < len(info.branch_rules)
+            else info.rule
+        )
+        template = self._rule_message(rule_name)
+        if isinstance(node, (ChoiceCompare, ChoiceBinOp)):
+            kind = (
+                "compare-op" if isinstance(node, ChoiceCompare) else "arith-op"
+            )
+            original = to_source(instantiate(node, {}))
+            replacement = to_source(instantiate(node, assignment))
+            message = _format_message(
+                template,
+                line=info.line,
+                orig=original,
+                new=replacement,
+                kind=kind,
+                old_op=node.ops[0],
+                new_op=node.ops[branch],
+            )
+            return FeedbackItem(
+                line=info.line,
+                rule=rule_name,
+                kind=kind,
+                original=original,
+                replacement=replacement,
+                message=message,
+            )
+        if isinstance(node, ChoiceStmt):
+            default_block = instantiate_block(node.choices[0], {})
+            chosen_block = instantiate_block(node.choices[branch], assignment)
+            original = "; ".join(to_source(s) for s in default_block)
+            replacement = "; ".join(to_source(s) for s in chosen_block)
+            if not node.choices[0]:
+                kind = "insert"
+            elif not chosen_block:
+                kind = "remove"
+            else:
+                kind = "statement"
+            message = _format_message(
+                template,
+                line=info.line,
+                orig=original,
+                new=replacement,
+                kind=kind,
+            )
+            return FeedbackItem(
+                line=info.line,
+                rule=rule_name,
+                kind=kind,
+                original=original,
+                replacement=replacement,
+                message=message,
+            )
+        assert isinstance(node, ChoiceExpr)
+        default_node = instantiate(node.choices[0], {})
+        chosen_node = instantiate(node.choices[branch], assignment)
+        original = to_source(default_node)
+        replacement = to_source(chosen_node)
+        # Specialize pure operator flips (paper Fig. 2(f): "change operator
+        # >= to !=") — the correction kept both operands and changed only
+        # the comparison operator.
+        if (
+            isinstance(default_node, N.Compare)
+            and isinstance(chosen_node, N.Compare)
+            and default_node.left == chosen_node.left
+            and default_node.right == chosen_node.right
+            and default_node.op != chosen_node.op
+        ):
+            message = _format_message(
+                template,
+                line=info.line,
+                orig=original,
+                new=replacement,
+                kind="compare-op",
+                old_op=default_node.op,
+                new_op=chosen_node.op,
+            )
+            return FeedbackItem(
+                line=info.line,
+                rule=rule_name,
+                kind="compare-op",
+                original=original,
+                replacement=replacement,
+                message=message,
+            )
+        message = _format_message(
+            template,
+            line=info.line,
+            orig=original,
+            new=replacement,
+            kind="expression",
+        )
+        return FeedbackItem(
+            line=info.line,
+            rule=rule_name,
+            kind="expression",
+            original=original,
+            replacement=replacement,
+            message=message,
+        )
+
+
+def render_report(
+    items: List[FeedbackItem], level: FeedbackLevel = FeedbackLevel.FULL
+) -> str:
+    """The Fig. 2(d)-style block: header plus one bullet per correction."""
+    count = len(items)
+    if count == 0:
+        return "The program requires no changes."
+    plural = "change" if count == 1 else "changes"
+    lines = [f"The program requires {count} {plural}:"]
+    lines.extend(f"  * {item.render(level)}" for item in items)
+    return "\n".join(lines)

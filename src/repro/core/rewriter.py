@@ -1,0 +1,86 @@
+"""The Program Rewriter component (paper Fig. 3).
+
+Bridges a student submission and an error model: classifies the submission
+against the problem's interface, attaches the instructor-declared argument
+types to the student's own parameter names (students name parameters
+freely), and applies the T_E transformation to produce the M̃PY candidate
+space plus its hole registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Dict, Optional, Tuple
+
+from repro.core.spec import ProblemSpec
+from repro.eml.rules import ErrorModel
+from repro.eml.transform import apply_error_model
+from repro.mpy import nodes as N
+from repro.mpy.errors import MPYError
+from repro.mpy.values import TypeSig
+from repro.tilde.nodes import HoleRegistry
+
+
+class SignatureError(MPYError):
+    """The submission does not define the requested function correctly."""
+
+
+def locate_student_function(
+    module: N.Module, spec: ProblemSpec
+) -> N.FuncDef:
+    """Find the function the grader should call.
+
+    Prefers the assignment's required name; falls back to a sole top-level
+    definition (students occasionally typo the name, and graders on 6.00x
+    would flag that separately). Arity must match the problem's interface.
+    """
+    functions = module.functions()
+    fn = functions.get(spec.student_function)
+    if fn is None and len(functions) == 1:
+        fn = next(iter(functions.values()))
+    if fn is None:
+        raise SignatureError(
+            f"submission does not define {spec.student_function!r}"
+        )
+    if len(fn.params) != len(spec.arg_types):
+        raise SignatureError(
+            f"{fn.name}() takes {len(fn.params)} parameters, expected "
+            f"{len(spec.arg_types)}"
+        )
+    return fn
+
+
+def normalize_submission(
+    module: N.Module, spec: ProblemSpec
+) -> Tuple[N.Module, Dict[str, TypeSig]]:
+    """Rename the student's entry function to the expected name (when it was
+    located by fallback) and derive its positional parameter types.
+
+    Renaming rewrites every reference too, so recursive submissions keep
+    calling themselves after normalization.
+    """
+    fn = locate_student_function(module, spec)
+    param_types = dict(zip(fn.params, spec.arg_types))
+    if fn.name != spec.student_function:
+        old, new = fn.name, spec.student_function
+
+        def rename(node: N.Node) -> N.Node:
+            node = N.map_children(node, rename)
+            if isinstance(node, N.FuncDef) and node.name == old:
+                return replace(node, name=new)
+            if isinstance(node, N.Var) and node.name == old:
+                return replace(node, name=new)
+            return node
+
+        module = rename(module)  # type: ignore[assignment]
+    return module, param_types
+
+
+def rewrite_submission(
+    module: N.Module,
+    spec: ProblemSpec,
+    model: ErrorModel,
+) -> Tuple[N.Module, HoleRegistry]:
+    """Program Rewriter: student MPY + error model → M̃PY + registry."""
+    normalized, param_types = normalize_submission(module, spec)
+    return apply_error_model(normalized, model, param_types)

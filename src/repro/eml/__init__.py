@@ -1,0 +1,33 @@
+"""EML: the error model language of the paper (Section 3).
+
+An error model is a set of correction rules ``L -> R`` over MPY program
+elements. Applying a model to an MPY program (the transformation function
+T_E of Section 3.3) yields an M̃PY program whose choice nodes encode every
+allowed combination of corrections.
+
+- :mod:`repro.eml.rules` — rule representations and the model container,
+- :mod:`repro.eml.parser` — the textual ``.eml`` format,
+- :mod:`repro.eml.matcher` — pattern matching with metavariables,
+- :mod:`repro.eml.transform` — the T_E transformation (Fig. 9),
+- :mod:`repro.eml.wellformed` — Definitions 1–2 and the Theorem 1 guard,
+- :mod:`repro.eml.typeinfer` — coarse type inference backing ``?a``.
+"""
+
+from repro.eml.rules import ErrorModel, InsertTopRule, RewriteRule
+from repro.eml.parser import parse_error_model, parse_rule
+from repro.eml.transform import apply_error_model
+from repro.eml.wellformed import EMLWellFormednessError, check_model
+from repro.eml.errors import EMLError, EMLSyntaxError
+
+__all__ = [
+    "ErrorModel",
+    "RewriteRule",
+    "InsertTopRule",
+    "parse_error_model",
+    "parse_rule",
+    "apply_error_model",
+    "check_model",
+    "EMLError",
+    "EMLSyntaxError",
+    "EMLWellFormednessError",
+]

@@ -1,0 +1,18 @@
+"""Exceptions for the EML error-model language."""
+
+from __future__ import annotations
+
+from repro.mpy.errors import MPYError
+
+
+class EMLError(MPYError):
+    """Base class for error-model problems."""
+
+
+class EMLSyntaxError(EMLError):
+    """The .eml text could not be parsed."""
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        where = f" (eml line {line})" if line is not None else ""
+        super().__init__(f"{message}{where}")

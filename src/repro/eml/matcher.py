@@ -1,0 +1,126 @@
+"""Pattern matching for EML rule left-hand sides.
+
+``match(pattern, node)`` returns a bindings dict (metavariable name → MPY
+node, plus operator keys for ``anycmp``/``anyarith``) or ``None``. Repeated
+metavariables must bind structurally equal subterms, which is exactly what
+the frozen-dataclass equality of :mod:`repro.mpy.nodes` provides.
+"""
+
+from __future__ import annotations
+
+from dataclasses import fields
+from typing import Dict, Optional
+
+from repro.eml.rules import (
+    ARITH_OP_KEY,
+    CMP_OP_KEY,
+    AnyArgs,
+    metavar_kind,
+)
+from repro.mpy import nodes as N
+
+Bindings = Dict[str, object]
+
+
+def match(pattern: N.Node, node: N.Node) -> Optional[Bindings]:
+    """Match ``node`` against ``pattern``; return bindings or None."""
+    bindings: Bindings = {}
+    if _match(pattern, node, bindings):
+        return bindings
+    return None
+
+
+def _bind(bindings: Bindings, key: str, value) -> bool:
+    if key in bindings:
+        return bindings[key] == value
+    bindings[key] = value
+    return True
+
+
+def _match(pattern: N.Node, node: N.Node, bindings: Bindings) -> bool:
+    # Metavariables: classification by reserved names.
+    if isinstance(pattern, N.Var):
+        kind = metavar_kind(pattern.name)
+        if kind == "var":
+            return isinstance(node, N.Var) and _bind(
+                bindings, pattern.name, node
+            )
+        if kind == "int":
+            return isinstance(node, N.IntLit) and _bind(
+                bindings, pattern.name, node
+            )
+        if kind == "expr":
+            return isinstance(node, N.Expr) and _bind(
+                bindings, pattern.name, node
+            )
+        # Literal variable (e.g. the `range` in `range(a0, a1)`).
+        return isinstance(node, N.Var) and node.name == pattern.name
+
+    # Operator wildcards. `anycmp` covers the paper's õpc set (the six
+    # equality/ordering operators); membership tests are not comparisons
+    # COMPR should rewrite.
+    if isinstance(pattern, N.Compare) and pattern.op == "?cmp":
+        if not isinstance(node, N.Compare):
+            return False
+        if node.op not in ("==", "!=", "<", ">", "<=", ">="):
+            return False
+        if not _bind(bindings, CMP_OP_KEY, node.op):
+            return False
+        return _match(pattern.left, node.left, bindings) and _match(
+            pattern.right, node.right, bindings
+        )
+    if isinstance(pattern, N.BinOp) and pattern.op == "?arith":
+        if not isinstance(node, N.BinOp):
+            return False
+        if not _bind(bindings, ARITH_OP_KEY, node.op):
+            return False
+        return _match(pattern.left, node.left, bindings) and _match(
+            pattern.right, node.right, bindings
+        )
+
+    if type(pattern) is not type(node):
+        return False
+
+    for f in fields(pattern):
+        if f.name == "line":
+            continue
+        pattern_value = getattr(pattern, f.name)
+        node_value = getattr(node, f.name)
+        if isinstance(pattern_value, N.Node):
+            if not isinstance(node_value, N.Node):
+                return False
+            if not _match(pattern_value, node_value, bindings):
+                return False
+        elif isinstance(pattern_value, tuple):
+            if not isinstance(node_value, tuple):
+                return False
+            if not _match_sequence(pattern_value, node_value, bindings):
+                return False
+        else:
+            if pattern_value != node_value:
+                return False
+    return True
+
+
+def _match_sequence(patterns: tuple, nodes: tuple, bindings: Bindings) -> bool:
+    """Element-wise matching with a trailing ``...`` (AnyArgs) wildcard."""
+    if patterns and isinstance(patterns[-1], AnyArgs):
+        heads = patterns[:-1]
+        if len(nodes) < len(heads):
+            return False
+        for pattern, node in zip(heads, nodes):
+            if not _match_item(pattern, node, bindings):
+                return False
+        return True
+    if len(patterns) != len(nodes):
+        return False
+    for pattern, node in zip(patterns, nodes):
+        if not _match_item(pattern, node, bindings):
+            return False
+    return True
+
+
+def _match_item(pattern, node, bindings: Bindings) -> bool:
+    if isinstance(pattern, N.Node):
+        return isinstance(node, N.Node) and _match(pattern, node, bindings)
+    return pattern == node

@@ -1,0 +1,414 @@
+"""Parser for the textual ``.eml`` error-model format.
+
+Grammar (line oriented)::
+
+    model <name>                      # optional header
+    # comment
+    rule <NAME>: <lhs> -> <rhs>       # rewrite rule (expression or statement)
+    rule <NAME>: <lhs> -> remove     # statement-removal rule
+    rule <NAME>: insert-top           # followed by an indented block
+        <python statements with $1, $2 placeholders>
+      msg: "feedback message template"
+
+Rule sides are Python expressions/statements extended with:
+
+- ``X'``  (prime)     → recursively transform the binding of X,
+- ``?X``              → same-type in-scope variables,
+- ``{e1, e2}``        → a free selection set (parsed from a Python set
+  display, which cannot occur in MPY programs),
+- ``anycmp(x, y)``    → LHS: match any comparison and bind its operator;
+  RHS: rebuild the comparison with the bound operator,
+- ``cmpset(x, y)``    → RHS: operator set over all six comparisons,
+- ``anyarith(x, y)`` / ``arithset(x, y)`` → same for arithmetic operators,
+- ``...`` in a call pattern → match any remaining arguments.
+
+String literals inside rules must use double quotes (single quotes are
+reserved for the prime operator).
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import List, Optional, Tuple
+
+from repro.eml.errors import EMLSyntaxError
+from repro.eml.rules import (
+    AnyArgs,
+    ArithSet,
+    CmpSet,
+    ErrorModel,
+    FreeSet,
+    InsertTopRule,
+    Prime,
+    RewriteRule,
+    ScopeVars,
+)
+from repro.mpy import nodes as N
+from repro.mpy import frontend
+from repro.mpy.errors import FrontendError
+
+_PRIME_RE = re.compile(r"([A-Za-z_][A-Za-z0-9_]*)'")
+_SCOPE_RE = re.compile(r"\?([A-Za-z_][A-Za-z0-9_]*)")
+_STRING_RE = re.compile(r'"([^"\\]*)"')
+
+_PRIME_PREFIX = "__prime__"
+_SCOPE_PREFIX = "__scope__"
+_STR_PREFIX = "__emlstr"
+
+
+def _preprocess(text: str, line: Optional[int]) -> Tuple[str, List[str]]:
+    """Replace EML-only syntax with parseable placeholders."""
+    strings: List[str] = []
+
+    def stash(match: re.Match) -> str:
+        strings.append(match.group(1))
+        return f'"{_STR_PREFIX}{len(strings) - 1}__"'
+
+    text = _STRING_RE.sub(stash, text)
+    text = _PRIME_RE.sub(lambda m: _PRIME_PREFIX + m.group(1), text)
+    if "'" in text:
+        raise EMLSyntaxError(
+            "single quotes are reserved for the prime operator; "
+            "use double quotes for strings",
+            line,
+        )
+    text = _SCOPE_RE.sub(lambda m: _SCOPE_PREFIX + m.group(1), text)
+    return text, strings
+
+
+class _RuleSideParser:
+    """Converts preprocessed Python ast into MPY + marker nodes."""
+
+    def __init__(self, strings: List[str], line: Optional[int]):
+        self.strings = strings
+        self.line = line
+
+    def parse_side(self, text: str) -> N.Node:
+        """Parse a rule side as an expression, else as a statement."""
+        try:
+            tree = ast.parse(text.strip(), mode="eval")
+            return self.convert_expr(tree.body)
+        except SyntaxError:
+            pass
+        return self.parse_statement(text)
+
+    def parse_statement(self, text: str) -> N.Stmt:
+        wrapped = "def __rule__():\n" + "\n".join(
+            "    " + line for line in text.strip().splitlines()
+        )
+        try:
+            tree = ast.parse(wrapped)
+        except SyntaxError as exc:
+            raise EMLSyntaxError(f"cannot parse rule side: {exc}", self.line)
+        body = tree.body[0].body  # type: ignore[union-attr]
+        if len(body) != 1:
+            raise EMLSyntaxError(
+                "rule sides must be single statements", self.line
+            )
+        return self.convert_stmt(body[0])
+
+    # -- conversion ---------------------------------------------------------
+
+    def convert_stmt(self, node: ast.stmt) -> N.Stmt:
+        if isinstance(node, ast.Return):
+            value = (
+                self.convert_expr(node.value) if node.value is not None else None
+            )
+            return N.Return(value=value)
+        if isinstance(node, ast.Assign):
+            if len(node.targets) != 1:
+                raise EMLSyntaxError("chained assignment in rule", self.line)
+            return N.Assign(
+                target=self.convert_expr(node.targets[0]),
+                value=self.convert_expr(node.value),
+            )
+        if isinstance(node, ast.AugAssign):
+            op = frontend._BINOPS.get(type(node.op))
+            if op is None:
+                raise EMLSyntaxError("unsupported operator in rule", self.line)
+            return N.AugAssign(
+                target=self.convert_expr(node.target),
+                op=op,
+                value=self.convert_expr(node.value),
+            )
+        if isinstance(node, ast.Expr):
+            return N.ExprStmt(value=self.convert_expr(node.value))
+        raise EMLSyntaxError(
+            f"unsupported statement in rule: {type(node).__name__}", self.line
+        )
+
+    def convert_expr(self, node: ast.expr) -> N.Expr:
+        if isinstance(node, ast.Set):
+            return FreeSet(
+                elements=tuple(self.convert_expr(e) for e in node.elts)
+            )
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            name = node.func.id
+            if name in ("anycmp", "cmpset", "anyarith", "arithset"):
+                if len(node.args) != 2:
+                    raise EMLSyntaxError(
+                        f"{name}() takes exactly two operands", self.line
+                    )
+                left = self.convert_expr(node.args[0])
+                right = self.convert_expr(node.args[1])
+                if name == "anycmp":
+                    return N.Compare(op="?cmp", left=left, right=right)
+                if name == "cmpset":
+                    return CmpSet(left=left, right=right)
+                if name == "anyarith":
+                    return N.BinOp(op="?arith", left=left, right=right)
+                return ArithSet(left=left, right=right)
+        if isinstance(node, ast.Name):
+            name = node.id
+            if name.startswith(_PRIME_PREFIX):
+                return Prime(binding=name[len(_PRIME_PREFIX):])
+            if name.startswith(_SCOPE_PREFIX):
+                return ScopeVars(binding=name[len(_SCOPE_PREFIX):])
+            return N.Var(name=name)
+        if isinstance(node, ast.Constant):
+            if node.value is Ellipsis:
+                return AnyArgs()
+            if isinstance(node.value, str) and node.value.startswith(
+                _STR_PREFIX
+            ):
+                index = int(node.value[len(_STR_PREFIX):].rstrip("_"))
+                return N.StrLit(value=self.strings[index])
+        # Everything else: reuse the ordinary frontend conversion, but with
+        # this converter handling the children (so markers nest anywhere).
+        return self._convert_via_frontend(node)
+
+    def _convert_via_frontend(self, node: ast.expr) -> N.Expr:
+        if isinstance(node, ast.BinOp):
+            op = frontend._BINOPS.get(type(node.op))
+            if op is None:
+                raise EMLSyntaxError("unsupported operator in rule", self.line)
+            return N.BinOp(
+                op=op,
+                left=self.convert_expr(node.left),
+                right=self.convert_expr(node.right),
+            )
+        if isinstance(node, ast.UnaryOp):
+            op = frontend._UNARYOPS.get(type(node.op))
+            if op is None:
+                raise EMLSyntaxError("unsupported operator in rule", self.line)
+            return N.UnaryOp(op=op, operand=self.convert_expr(node.operand))
+        if isinstance(node, ast.Compare):
+            if len(node.ops) != 1:
+                raise EMLSyntaxError(
+                    "chained comparisons not allowed in rules", self.line
+                )
+            op = frontend._CMPOPS.get(type(node.ops[0]))
+            if op is None:
+                raise EMLSyntaxError("unsupported comparison in rule", self.line)
+            return N.Compare(
+                op=op,
+                left=self.convert_expr(node.left),
+                right=self.convert_expr(node.comparators[0]),
+            )
+        if isinstance(node, ast.BoolOp):
+            op = "and" if isinstance(node.op, ast.And) else "or"
+            result = self.convert_expr(node.values[-1])
+            for value in reversed(node.values[:-1]):
+                result = N.BoolOp(
+                    op=op, left=self.convert_expr(value), right=result
+                )
+            return result
+        if isinstance(node, ast.Call):
+            return N.Call(
+                func=self.convert_expr(node.func),
+                args=tuple(self.convert_expr(a) for a in node.args),
+            )
+        if isinstance(node, ast.Attribute):
+            return N.Attribute(obj=self.convert_expr(node.value), attr=node.attr)
+        if isinstance(node, ast.Subscript):
+            if isinstance(node.slice, ast.Slice):
+                sl = node.slice
+                return N.Slice(
+                    obj=self.convert_expr(node.value),
+                    lower=self.convert_expr(sl.lower) if sl.lower else None,
+                    upper=self.convert_expr(sl.upper) if sl.upper else None,
+                    step=self.convert_expr(sl.step) if sl.step else None,
+                )
+            return N.Index(
+                obj=self.convert_expr(node.value),
+                index=self.convert_expr(node.slice),
+            )
+        if isinstance(node, ast.List):
+            return N.ListLit(elts=tuple(self.convert_expr(e) for e in node.elts))
+        if isinstance(node, ast.Tuple):
+            return N.TupleLit(
+                elts=tuple(self.convert_expr(e) for e in node.elts)
+            )
+        if isinstance(node, ast.Constant):
+            if isinstance(node.value, bool):
+                return N.BoolLit(value=node.value)
+            if isinstance(node.value, int):
+                return N.IntLit(value=node.value)
+            if isinstance(node.value, str):
+                return N.StrLit(value=node.value)
+            if node.value is None:
+                return N.NoneLit()
+        if isinstance(node, ast.IfExp):
+            return N.IfExp(
+                test=self.convert_expr(node.test),
+                body=self.convert_expr(node.body),
+                orelse=self.convert_expr(node.orelse),
+            )
+        raise EMLSyntaxError(
+            f"unsupported expression in rule: {type(node).__name__}", self.line
+        )
+
+
+def parse_rule(
+    name: str,
+    text: str,
+    message: Optional[str] = None,
+    line: Optional[int] = None,
+) -> RewriteRule:
+    """Parse one ``lhs -> rhs`` rule body."""
+    parts = _split_arrow(text, line)
+    lhs_text, rhs_text = parts
+    lhs_pre, lhs_strings = _preprocess(lhs_text, line)
+    side_parser = _RuleSideParser(lhs_strings, line)
+    lhs = side_parser.parse_side(lhs_pre)
+    if rhs_text.strip() == "remove":
+        if isinstance(lhs, N.Expr):
+            # `print(...) -> remove`: a bare call pattern removes the
+            # corresponding expression statement.
+            lhs = N.ExprStmt(value=lhs)
+        rhs: Optional[N.Node] = None
+    else:
+        rhs_pre, rhs_strings = _preprocess(rhs_text, line)
+        rhs_parser = _RuleSideParser(rhs_strings, line)
+        rhs = rhs_parser.parse_side(rhs_pre)
+        if isinstance(lhs, N.Stmt) != isinstance(rhs, N.Stmt):
+            raise EMLSyntaxError(
+                "rule sides must both be expressions or both statements", line
+            )
+    return RewriteRule(
+        name=name, lhs=lhs, rhs=rhs, message=message, source=text.strip()
+    )
+
+
+def _split_arrow(text: str, line: Optional[int]) -> Tuple[str, str]:
+    depth = 0
+    in_string = False
+    for index in range(len(text) - 1):
+        ch = text[index]
+        if ch == '"':
+            in_string = not in_string
+        if in_string:
+            continue
+        if ch in "([{":
+            depth += 1
+        elif ch in ")]}":
+            depth -= 1
+        elif ch == "-" and text[index + 1] == ">" and depth == 0:
+            return text[:index], text[index + 2:]
+    raise EMLSyntaxError("rule is missing '->'", line)
+
+
+def parse_error_model(text: str, name: str = "model") -> ErrorModel:
+    """Parse a full ``.eml`` document."""
+    rules: List[object] = []
+    model_name = name
+    lines = text.splitlines()
+    index = 0
+    pending_insert: Optional[Tuple[str, List[str], int]] = None
+
+    def flush_insert() -> None:
+        nonlocal pending_insert
+        if pending_insert is None:
+            return
+        rule_name, block, at_line = pending_insert
+        if not block:
+            raise EMLSyntaxError("insert-top rule has an empty body", at_line)
+        body = _dedent(block)
+        _validate_insert_top(body, at_line)
+        rules.append(
+            InsertTopRule(name=rule_name, body_source=body, source=body)
+        )
+        pending_insert = None
+
+    while index < len(lines):
+        raw = lines[index]
+        stripped = raw.strip()
+        lineno = index + 1
+        index += 1
+        if pending_insert is not None:
+            # Indented lines continue the insert-top block.
+            if raw[:1] in (" ", "\t") and stripped and not stripped.startswith(
+                ("msg:", "rule ", "#")
+            ):
+                pending_insert[1].append(raw)
+                continue
+            flush_insert()
+        if not stripped or stripped.startswith("#"):
+            continue
+        if stripped.startswith("model "):
+            model_name = stripped[len("model "):].strip()
+            continue
+        if stripped.startswith("msg:"):
+            message = _parse_msg(stripped, lineno)
+            if not rules:
+                raise EMLSyntaxError("msg: before any rule", lineno)
+            last = rules[-1]
+            if isinstance(last, RewriteRule):
+                rules[-1] = RewriteRule(
+                    name=last.name,
+                    lhs=last.lhs,
+                    rhs=last.rhs,
+                    message=message,
+                    source=last.source,
+                )
+            else:
+                rules[-1] = InsertTopRule(
+                    name=last.name,
+                    body_source=last.body_source,
+                    message=message,
+                    source=last.source,
+                )
+            continue
+        if stripped.startswith("rule "):
+            header = stripped[len("rule "):]
+            if ":" not in header:
+                raise EMLSyntaxError("rule header is missing ':'", lineno)
+            rule_name, _, body = header.partition(":")
+            rule_name = rule_name.strip()
+            body = body.strip()
+            if not rule_name.isidentifier():
+                raise EMLSyntaxError(
+                    f"invalid rule name {rule_name!r}", lineno
+                )
+            if body == "insert-top":
+                pending_insert = (rule_name, [], lineno)
+            else:
+                rules.append(parse_rule(rule_name, body, line=lineno))
+            continue
+        raise EMLSyntaxError(f"unrecognized line: {stripped!r}", lineno)
+
+    flush_insert()
+    return ErrorModel(name=model_name, rules=tuple(rules))
+
+
+def _parse_msg(line: str, lineno: int) -> str:
+    body = line[len("msg:"):].strip()
+    if body.startswith('"') and body.endswith('"') and len(body) >= 2:
+        return body[1:-1]
+    return body
+
+
+def _dedent(block: List[str]) -> str:
+    indents = [len(line) - len(line.lstrip()) for line in block if line.strip()]
+    cut = min(indents) if indents else 0
+    return "\n".join(line[cut:] for line in block) + "\n"
+
+
+def _validate_insert_top(body: str, line: Optional[int]) -> None:
+    """Check the block parses once placeholders are substituted."""
+    substituted = re.sub(r"\$[0-9]+", "__param__", body)
+    try:
+        frontend.parse_program(substituted)
+    except FrontendError as exc:
+        raise EMLSyntaxError(f"bad insert-top body: {exc}", line) from exc

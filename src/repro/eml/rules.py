@@ -1,0 +1,167 @@
+"""Rule and model representations for EML, plus template marker nodes.
+
+A rewrite rule's two sides are ordinary MPY trees with three extensions that
+only ever appear inside rules:
+
+- :class:`Prime` — the paper's ``t'`` tag: re-apply the whole error model to
+  the bound subterm (nested transformations, Section 3.3);
+- :class:`ScopeVars` — the paper's ``?a`` shorthand: all in-scope variables
+  whose type matches the bound expression's type;
+- :class:`FreeSet` — an RHS set ``{e1, ..., en}``: the synthesizer picks any
+  element, at no cost beyond the rule application itself;
+- :class:`CmpSet` / :class:`ArithSet` — operator sets (the paper's õpc),
+  defaulting to the operator bound by ``anycmp`` / ``anyarith`` on the LHS;
+- :class:`AnyArgs` — ``...`` in a call pattern: matches any argument list.
+
+Metavariable conventions on the LHS (matching the paper's notation):
+``v``/``v0``–``v9`` match variables, ``n``/``n0``–``n9`` match integer
+literals, ``a``/``b`` (optionally digit-suffixed) match any expression.
+``anycmp(a0, a1)`` matches any comparison, binding its operator.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.mpy import nodes as N
+
+#: Binding key for the comparison operator captured by ``anycmp``.
+CMP_OP_KEY = "__cmp_op__"
+#: Binding key for the arithmetic operator captured by ``anyarith``.
+ARITH_OP_KEY = "__arith_op__"
+
+_VAR_PATTERN = re.compile(r"^v[0-9]?$")
+_INT_PATTERN = re.compile(r"^n[0-9]?$")
+_EXPR_PATTERN = re.compile(r"^[ab][0-9]?$")
+
+
+def metavar_kind(name: str) -> Optional[str]:
+    """Classify an identifier as a metavariable: 'var', 'int', 'expr'."""
+    if _VAR_PATTERN.match(name):
+        return "var"
+    if _INT_PATTERN.match(name):
+        return "int"
+    if _EXPR_PATTERN.match(name):
+        return "expr"
+    return None
+
+
+@dataclass(frozen=True)
+class Prime(N.Expr):
+    """``X'`` in a rule RHS: recursively transform the binding of X."""
+
+    binding: str
+    line: Optional[int] = field(default=None, compare=False)
+
+
+@dataclass(frozen=True)
+class ScopeVars(N.Expr):
+    """``?X`` in a rule RHS: same-type in-scope variables (excluding X)."""
+
+    binding: str
+    line: Optional[int] = field(default=None, compare=False)
+
+
+@dataclass(frozen=True)
+class FreeSet(N.Expr):
+    """``{e1, ..., en}`` in a rule RHS: a free selection set."""
+
+    elements: Tuple[N.Expr, ...]
+    line: Optional[int] = field(default=None, compare=False)
+
+
+@dataclass(frozen=True)
+class CmpSet(N.Expr):
+    """``cmpset(x, y)``: comparison with any operator, default = bound op."""
+
+    left: N.Expr
+    right: N.Expr
+    line: Optional[int] = field(default=None, compare=False)
+
+
+@dataclass(frozen=True)
+class ArithSet(N.Expr):
+    """``arithset(x, y)``: binary op with any arithmetic operator."""
+
+    left: N.Expr
+    right: N.Expr
+    line: Optional[int] = field(default=None, compare=False)
+
+
+@dataclass(frozen=True)
+class AnyArgs(N.Expr):
+    """``...`` in a call pattern: matches the remaining arguments."""
+
+    line: Optional[int] = field(default=None, compare=False)
+
+
+@dataclass(frozen=True)
+class RewriteRule:
+    """A correction rule ``L -> R`` (Section 3.2).
+
+    ``rhs is None`` encodes the special ``remove`` RHS for statement rules
+    (used to optionally drop print statements, Section 6).
+    """
+
+    name: str
+    lhs: N.Node
+    rhs: Optional[N.Node]
+    message: Optional[str] = None
+    source: str = ""
+
+    @property
+    def is_statement_rule(self) -> bool:
+        return isinstance(self.lhs, N.Stmt)
+
+
+@dataclass(frozen=True)
+class InsertTopRule:
+    """Optionally insert a statement block at the top of every function.
+
+    ``body_source`` is Python text with ``$1``, ``$2``, ... placeholders for
+    the function's parameters; it is parsed at application time. This is the
+    rule form behind the paper's Fig. 2(e) feedback ("add the base case at
+    the top to return [0] for len(poly)=1").
+    """
+
+    name: str
+    body_source: str
+    message: Optional[str] = None
+    source: str = ""
+
+
+Rule = object  # documentation alias: RewriteRule | InsertTopRule
+
+
+@dataclass(frozen=True)
+class ErrorModel:
+    """An ordered collection of correction rules (Definition 2's E)."""
+
+    name: str
+    rules: Tuple[object, ...] = ()
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def __iter__(self):
+        return iter(self.rules)
+
+    def rewrite_rules(self) -> Tuple[RewriteRule, ...]:
+        return tuple(r for r in self.rules if isinstance(r, RewriteRule))
+
+    def insert_top_rules(self) -> Tuple[InsertTopRule, ...]:
+        return tuple(r for r in self.rules if isinstance(r, InsertTopRule))
+
+    def prefix(self, count: int, name: Optional[str] = None) -> "ErrorModel":
+        """The sub-model of the first ``count`` rules (Fig. 14(b)'s E0..En)."""
+        return ErrorModel(
+            name=name or f"{self.name}[:{count}]", rules=self.rules[:count]
+        )
+
+    def rule_named(self, name: str):
+        for rule in self.rules:
+            if rule.name == name:
+                return rule
+        raise KeyError(name)

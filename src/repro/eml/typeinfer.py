@@ -1,0 +1,266 @@
+"""Coarse, best-effort type inference over MPY functions.
+
+The EML shorthand ``?a`` denotes "all variables in scope with the same type
+as expression ``a``" (Section 3.2). Python is dynamically typed, so like the
+paper's tool we rely on the instructor-declared argument types plus a simple
+forward pass over the function body to classify locals into coarse types.
+
+The inference is deliberately conservative: a variable assigned values of
+two different coarse types, or anything we cannot classify, becomes
+``UNKNOWN`` — and ``?a`` treats UNKNOWN as compatible with everything, which
+only *widens* the correction search space (soundness of the synthesizer
+never depends on inference precision).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict, Optional, Tuple
+
+from repro.mpy import nodes as N
+from repro.mpy.values import (
+    BoolType,
+    CharListType,
+    IntType,
+    ListType,
+    StrType,
+    TupleType,
+    TypeSig,
+)
+
+
+class CoarseType(enum.Enum):
+    INT = "int"
+    BOOL = "bool"
+    STR = "str"
+    LIST = "list"
+    TUPLE = "tuple"
+    DICT = "dict"
+    NONE = "none"
+    FUNC = "func"
+    UNKNOWN = "?"
+
+
+def coarse_of_sig(sig: TypeSig) -> CoarseType:
+    """Coarse type of a declared argument signature."""
+    if isinstance(sig, IntType):
+        return CoarseType.INT
+    if isinstance(sig, BoolType):
+        return CoarseType.BOOL
+    if isinstance(sig, StrType):
+        return CoarseType.STR
+    if isinstance(sig, (ListType, CharListType)):
+        return CoarseType.LIST
+    if isinstance(sig, TupleType):
+        return CoarseType.TUPLE
+    return CoarseType.UNKNOWN
+
+
+_INT_RESULT_BUILTINS = {"len", "int", "abs", "sum"}
+_LIST_RESULT_BUILTINS = {"range", "list", "sorted", "reversed"}
+_STR_RESULT_BUILTINS = {"str"}
+_BOOL_RESULT_BUILTINS = {"bool"}
+
+
+class TypeEnv:
+    """Variable name → coarse type for one function scope."""
+
+    def __init__(self, types: Optional[Dict[str, CoarseType]] = None):
+        self.types: Dict[str, CoarseType] = dict(types or {})
+        self._conflicted: set = set()
+
+    def get(self, name: str) -> CoarseType:
+        return self.types.get(name, CoarseType.UNKNOWN)
+
+    def observe(self, name: str, ctype: CoarseType) -> None:
+        """Record an assignment.
+
+        UNKNOWN observations never degrade existing knowledge (they arise
+        from expressions we cannot classify), but two *different* known
+        types conflict permanently — the variable really is dynamically
+        retyped, so ``?a`` must treat it as compatible with everything.
+        """
+        if name in self._conflicted:
+            return
+        previous = self.types.get(name)
+        if previous is None or previous is CoarseType.UNKNOWN:
+            self.types[name] = ctype
+        elif ctype is CoarseType.UNKNOWN:
+            pass
+        elif previous is not ctype:
+            self._conflicted.add(name)
+            self.types[name] = CoarseType.UNKNOWN
+
+    def same_type_vars(self, ctype: CoarseType) -> Tuple[str, ...]:
+        """Scope variables compatible with ``ctype`` (UNKNOWN matches all)."""
+        names = []
+        for name, var_type in sorted(self.types.items()):
+            if var_type is CoarseType.FUNC:
+                continue
+            if (
+                ctype is CoarseType.UNKNOWN
+                or var_type is CoarseType.UNKNOWN
+                or var_type is ctype
+            ):
+                names.append(name)
+        return tuple(names)
+
+
+def infer_function_env(
+    fn: N.FuncDef, param_types: Optional[Dict[str, TypeSig]] = None
+) -> TypeEnv:
+    """Infer a TypeEnv for ``fn`` from declared params + two forward passes."""
+    env = TypeEnv()
+    for param in fn.params:
+        sig = (param_types or {}).get(param)
+        env.types[param] = coarse_of_sig(sig) if sig is not None else (
+            CoarseType.UNKNOWN
+        )
+    # Two passes so types flowing through intermediate variables settle.
+    for _ in range(2):
+        _walk_block(fn.body, env)
+    return env
+
+
+def _walk_block(body: Tuple[N.Stmt, ...], env: TypeEnv) -> None:
+    for stmt in body:
+        _walk_stmt(stmt, env)
+
+
+def _walk_stmt(stmt: N.Stmt, env: TypeEnv) -> None:
+    if isinstance(stmt, N.Assign):
+        value_type = infer_expr(stmt.value, env)
+        _observe_target(stmt.target, value_type, env)
+    elif isinstance(stmt, N.AugAssign):
+        # x += e keeps x's coarse type for the common numeric/list cases.
+        pass
+    elif isinstance(stmt, N.For):
+        elem = _element_type(infer_expr(stmt.iter, env))
+        _observe_target(stmt.target, elem, env)
+        _walk_block(stmt.body, env)
+    elif isinstance(stmt, N.While):
+        _walk_block(stmt.body, env)
+    elif isinstance(stmt, N.If):
+        _walk_block(stmt.body, env)
+        _walk_block(stmt.orelse, env)
+    elif isinstance(stmt, N.FuncDef):
+        env.observe(stmt.name, CoarseType.FUNC)
+
+
+def _observe_target(target: N.Expr, ctype: CoarseType, env: TypeEnv) -> None:
+    if isinstance(target, N.Var):
+        env.observe(target.name, ctype)
+    elif isinstance(target, N.TupleLit):
+        for elt in target.elts:
+            _observe_target(elt, CoarseType.UNKNOWN, env)
+
+
+def _element_type(container: CoarseType) -> CoarseType:
+    if container is CoarseType.STR:
+        return CoarseType.STR
+    # Lists in these assignments are overwhelmingly lists of ints; stay
+    # UNKNOWN rather than guessing wrong.
+    return CoarseType.UNKNOWN
+
+
+def infer_expr(expr: N.Expr, env: TypeEnv) -> CoarseType:
+    """Coarse type of an expression under ``env``."""
+    if isinstance(expr, N.IntLit):
+        return CoarseType.INT
+    if isinstance(expr, N.BoolLit):
+        return CoarseType.BOOL
+    if isinstance(expr, N.StrLit):
+        return CoarseType.STR
+    if isinstance(expr, N.NoneLit):
+        return CoarseType.NONE
+    if isinstance(expr, (N.ListLit, N.ListComp)):
+        return CoarseType.LIST
+    if isinstance(expr, N.TupleLit):
+        return CoarseType.TUPLE
+    if isinstance(expr, N.DictLit):
+        return CoarseType.DICT
+    if isinstance(expr, N.Lambda):
+        return CoarseType.FUNC
+    if isinstance(expr, N.Var):
+        return env.get(expr.name)
+    if isinstance(expr, N.Compare):
+        return CoarseType.BOOL
+    if isinstance(expr, N.BoolOp):
+        left = infer_expr(expr.left, env)
+        right = infer_expr(expr.right, env)
+        return left if left is right else CoarseType.UNKNOWN
+    if isinstance(expr, N.UnaryOp):
+        if expr.op == "not":
+            return CoarseType.BOOL
+        return infer_expr(expr.operand, env)
+    if isinstance(expr, N.BinOp):
+        return _infer_binop(expr, env)
+    if isinstance(expr, N.Index):
+        container = infer_expr(expr.obj, env)
+        if container is CoarseType.STR:
+            return CoarseType.STR
+        return CoarseType.UNKNOWN
+    if isinstance(expr, N.Slice):
+        return infer_expr(expr.obj, env)
+    if isinstance(expr, N.IfExp):
+        body = infer_expr(expr.body, env)
+        orelse = infer_expr(expr.orelse, env)
+        return body if body is orelse else CoarseType.UNKNOWN
+    if isinstance(expr, N.Call):
+        return _infer_call(expr, env)
+    return CoarseType.UNKNOWN
+
+
+def _infer_binop(expr: N.BinOp, env: TypeEnv) -> CoarseType:
+    left = infer_expr(expr.left, env)
+    right = infer_expr(expr.right, env)
+    if expr.op == "+":
+        if CoarseType.STR in (left, right):
+            return CoarseType.STR
+        if CoarseType.LIST in (left, right):
+            return CoarseType.LIST
+        if CoarseType.TUPLE in (left, right):
+            return CoarseType.TUPLE
+        if left is CoarseType.INT and right is CoarseType.INT:
+            return CoarseType.INT
+        return CoarseType.UNKNOWN
+    if expr.op == "*":
+        if CoarseType.STR in (left, right):
+            return CoarseType.STR
+        if CoarseType.LIST in (left, right):
+            return CoarseType.LIST
+        if left is CoarseType.INT and right is CoarseType.INT:
+            return CoarseType.INT
+        return CoarseType.UNKNOWN
+    if expr.op in ("-", "//", "%", "**"):
+        if left is CoarseType.INT and right is CoarseType.INT:
+            return CoarseType.INT
+        return CoarseType.UNKNOWN
+    return CoarseType.UNKNOWN  # '/' may be float; stay unknown
+
+
+def _infer_call(expr: N.Call, env: TypeEnv) -> CoarseType:
+    if isinstance(expr.func, N.Var):
+        name = expr.func.name
+        if name in _INT_RESULT_BUILTINS:
+            return CoarseType.INT
+        if name in _LIST_RESULT_BUILTINS:
+            return CoarseType.LIST
+        if name in _STR_RESULT_BUILTINS:
+            return CoarseType.STR
+        if name in _BOOL_RESULT_BUILTINS:
+            return CoarseType.BOOL
+        if name == "tuple":
+            return CoarseType.TUPLE
+        return CoarseType.UNKNOWN
+    if isinstance(expr.func, N.Attribute):
+        attr = expr.func.attr
+        if attr in ("index", "count", "find"):
+            return CoarseType.INT
+        if attr in ("replace", "upper", "lower", "strip", "join"):
+            return CoarseType.STR
+        if attr in ("split", "keys", "values", "items"):
+            return CoarseType.LIST
+        if attr in ("startswith", "endswith"):
+            return CoarseType.BOOL
+    return CoarseType.UNKNOWN

@@ -1,0 +1,141 @@
+"""Well-formedness of error models (paper Definitions 1–2, Theorem 1).
+
+A rewrite rule ``L -> R`` is well-formed when every tagged (primed) subterm
+of R has a strictly smaller syntax tree than L. In our surface syntax the
+prime operator applies to metavariables only (size-1 patterns), so the check
+reduces to: the LHS must be larger than a bare metavariable, every primed
+name must be bound by the LHS, and the RHS must not mention unbound
+metavariables. Together with the strict-subterm property this guarantees
+the T_E transformation terminates (Theorem 1).
+"""
+
+from __future__ import annotations
+
+from typing import Set
+
+from repro.eml.errors import EMLError
+from repro.eml.rules import (
+    ARITH_OP_KEY,
+    CMP_OP_KEY,
+    AnyArgs,
+    ArithSet,
+    CmpSet,
+    ErrorModel,
+    FreeSet,
+    InsertTopRule,
+    Prime,
+    RewriteRule,
+    ScopeVars,
+    metavar_kind,
+)
+from repro.mpy import nodes as N
+
+
+class EMLWellFormednessError(EMLError):
+    """The error model violates Definition 1 or 2."""
+
+
+def lhs_metavars(lhs: N.Node) -> Set[str]:
+    """Metavariable names bound by a rule's left-hand side."""
+    names: Set[str] = set()
+    for node in lhs.walk():
+        if isinstance(node, N.Var) and metavar_kind(node.name):
+            names.add(node.name)
+    return names
+
+
+def lhs_binds_cmp_op(lhs: N.Node) -> bool:
+    return any(
+        isinstance(node, N.Compare) and node.op == "?cmp"
+        for node in lhs.walk()
+    )
+
+
+def lhs_binds_arith_op(lhs: N.Node) -> bool:
+    return any(
+        isinstance(node, N.BinOp) and node.op == "?arith"
+        for node in lhs.walk()
+    )
+
+
+def check_rule(rule: RewriteRule) -> None:
+    """Definition 1: well-formed rewrite rule."""
+    bound = lhs_metavars(rule.lhs)
+    lhs_size = rule.lhs.size()
+    for node in rule.lhs.walk():
+        if isinstance(node, (Prime, ScopeVars, FreeSet, CmpSet, ArithSet)):
+            raise EMLWellFormednessError(
+                f"rule {rule.name}: {type(node).__name__} is only valid in "
+                "the RHS"
+            )
+    if rule.rhs is None:
+        return
+    has_cmp = lhs_binds_cmp_op(rule.lhs)
+    has_arith = lhs_binds_arith_op(rule.lhs)
+    for node in rule.rhs.walk():
+        if isinstance(node, Prime):
+            if node.binding not in bound:
+                raise EMLWellFormednessError(
+                    f"rule {rule.name}: prime on unbound metavariable "
+                    f"{node.binding!r}"
+                )
+            # The primed pattern is a single metavariable (size 1); the
+            # strict-subterm requirement of Definition 1 is `1 < size(L)`.
+            if lhs_size <= 1:
+                raise EMLWellFormednessError(
+                    f"rule {rule.name}: primed subterm is not smaller than "
+                    "the LHS (Definition 1)"
+                )
+        elif isinstance(node, ScopeVars):
+            if node.binding not in bound:
+                raise EMLWellFormednessError(
+                    f"rule {rule.name}: ?{node.binding} refers to an unbound "
+                    "metavariable"
+                )
+        elif isinstance(node, N.Var):
+            kind = metavar_kind(node.name)
+            if kind is not None and node.name not in bound:
+                raise EMLWellFormednessError(
+                    f"rule {rule.name}: RHS metavariable {node.name!r} is "
+                    "not bound by the LHS"
+                )
+        elif isinstance(node, CmpSet) and not has_cmp:
+            raise EMLWellFormednessError(
+                f"rule {rule.name}: cmpset() requires anycmp() on the LHS"
+            )
+        elif isinstance(node, N.Compare) and node.op == "?cmp" and not has_cmp:
+            raise EMLWellFormednessError(
+                f"rule {rule.name}: anycmp() in RHS requires anycmp() on "
+                "the LHS"
+            )
+        elif isinstance(node, ArithSet) and not has_arith:
+            raise EMLWellFormednessError(
+                f"rule {rule.name}: arithset() requires anyarith() on the LHS"
+            )
+        elif isinstance(node, N.BinOp) and node.op == "?arith" and not has_arith:
+            raise EMLWellFormednessError(
+                f"rule {rule.name}: anyarith() in RHS requires anyarith() on "
+                "the LHS"
+            )
+        elif isinstance(node, AnyArgs):
+            raise EMLWellFormednessError(
+                f"rule {rule.name}: '...' is only valid in the LHS"
+            )
+
+
+def check_model(model: ErrorModel) -> None:
+    """Definition 2: a model is well-formed iff all its rules are."""
+    seen: Set[str] = set()
+    for rule in model:
+        if rule.name in seen:
+            raise EMLWellFormednessError(
+                f"duplicate rule name {rule.name!r} in model {model.name!r}"
+            )
+        seen.add(rule.name)
+        if isinstance(rule, RewriteRule):
+            check_rule(rule)
+        elif isinstance(rule, InsertTopRule):
+            if not rule.body_source.strip():
+                raise EMLWellFormednessError(
+                    f"rule {rule.name}: empty insert-top body"
+                )

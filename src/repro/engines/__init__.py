@@ -1,0 +1,24 @@
+"""Synthesis engines: search for minimal corrections over M̃PY spaces.
+
+- :mod:`repro.engines.cegismin` — the paper's approach: CEGIS with a SAT
+  backend extended for cost minimization (Algorithm 1, CEGISMIN);
+- :mod:`repro.engines.enumerative` — the brute-force baseline the paper
+  argues against (mutation-style enumeration, Section 7.2);
+- :mod:`repro.engines.verify` — exhaustive bounded equivalence checking
+  against the reference implementation (the SKETCH harness stand-in).
+"""
+
+from repro.engines.base import EngineResult, Engine
+from repro.engines.cegismin import CegisMinEngine
+from repro.engines.enumerative import EnumerativeEngine
+from repro.engines.verify import BoundedVerifier, Outcome, outcomes_match
+
+__all__ = [
+    "Engine",
+    "EngineResult",
+    "CegisMinEngine",
+    "EnumerativeEngine",
+    "BoundedVerifier",
+    "Outcome",
+    "outcomes_match",
+]

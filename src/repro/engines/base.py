@@ -1,0 +1,57 @@
+"""Common engine interface and result type."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import abc
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.mpy import nodes as N
+from repro.tilde.nodes import HoleRegistry
+
+if TYPE_CHECKING:
+    from repro.core.spec import ProblemSpec
+
+#: Engine statuses.
+FIXED = "fixed"  # a minimal correction set was found
+NO_FIX = "no_fix"  # the search space contains no equivalent program
+TIMEOUT = "timeout"  # gave up on the clock (paper: 4-minute budget)
+EXHAUSTED = "exhausted"  # enumeration cap reached (enumerative engine only)
+
+
+@dataclass
+class EngineResult:
+    """Outcome of one synthesis run."""
+
+    status: str
+    assignment: Optional[Dict[int, int]] = None
+    cost: Optional[int] = None
+    #: True when the returned fix is proven minimal (CEGISMIN ran to UNSAT).
+    minimal: bool = False
+    iterations: int = 0
+    counterexamples: int = 0
+    wall_time: float = 0.0
+    stats: dict = field(default_factory=dict)
+
+    @property
+    def fixed(self) -> bool:
+        return self.status == FIXED
+
+
+class Engine(abc.ABC):
+    """A search strategy over an M̃PY candidate space."""
+
+    name: str = "engine"
+
+    @abc.abstractmethod
+    def solve(
+        self,
+        tilde: N.Module,
+        registry: HoleRegistry,
+        spec: ProblemSpec,
+        verifier,
+        timeout_s: float = 60.0,
+    ) -> EngineResult:
+        """Find a minimal-cost hole assignment equivalent to the reference."""

@@ -1,0 +1,200 @@
+"""Exhaustive bounded equivalence checking against a reference.
+
+The paper's SKETCH harness "compares the outputs of the translated student
+and reference implementations on all inputs of a bounded size" (Section
+2.3) — with 4-bit integers and lists up to length 4, over 2^16 inputs. We
+do the same by enumeration: precompute the reference outcome on every input
+of the bounded space once per problem, then sweep candidates until the
+first mismatch.
+
+An *outcome* is ``("ok", value, stdout)`` or ``("error",)``: student code
+that raises (bad index, type confusion, non-termination by fuel) is
+observably different from code that returns. Inputs on which the reference
+itself errors are treated as outside the problem's precondition and are
+excluded from the space (e.g. negative exponents for ``recurPower``).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import time
+from typing import Callable, Iterable, List, Optional, Tuple
+
+from repro.mpy.errors import MPYRuntimeError
+from repro.mpy.interp import Interpreter, RunResult
+
+if TYPE_CHECKING:
+    from repro.core.spec import ProblemSpec
+
+Outcome = Tuple  # ("ok", value, stdout) | ("error",)
+
+OK = "ok"
+ERROR = "error"
+
+
+def outcome_of(run: Callable[[], RunResult], compare_stdout: bool) -> Outcome:
+    try:
+        result = run()
+    except MPYRuntimeError:
+        return (ERROR,)
+    stdout = result.stdout if compare_stdout else ()
+    return (OK, result.value, stdout)
+
+
+def typed_equal(a, b) -> bool:
+    """Deep equality that distinguishes types Python's ``==`` conflates.
+
+    ``True == 1`` and ``[True] == [1]`` hold in Python, but under the
+    paper's MultiType flags BOOL and INTEGER are different dynamic types, so
+    returning one where the reference returns the other must count as a
+    mismatch.
+    """
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, (list, tuple)):
+        return len(a) == len(b) and all(
+            typed_equal(x, y) for x, y in zip(a, b)
+        )
+    if isinstance(a, dict):
+        if set(a.keys()) != set(b.keys()):
+            return False
+        return all(typed_equal(a[k], b[k]) for k in a)
+    return a == b
+
+
+def outcomes_match(expected: Outcome, actual: Outcome) -> bool:
+    if expected[0] != actual[0]:
+        return False
+    if expected[0] == ERROR:
+        return True
+    return typed_equal(expected[1], actual[1]) and expected[2] == actual[2]
+
+
+def _input_size_key(args: tuple) -> tuple:
+    """Order inputs smallest-first so counterexample sweeps fail fast."""
+
+    def size(value) -> int:
+        if isinstance(value, str):
+            return 1 + len(value)
+        if isinstance(value, (list, tuple)):
+            return 1 + sum(size(v) for v in value)
+        if isinstance(value, bool):
+            return 0
+        if isinstance(value, int):
+            return abs(value)
+        return 1
+
+    return (sum(size(a) for a in args), repr(args))
+
+
+def hashable_args(args: tuple):
+    def freeze(value):
+        if isinstance(value, list):
+            return ("list",) + tuple(freeze(v) for v in value)
+        if isinstance(value, tuple):
+            return ("tuple",) + tuple(freeze(v) for v in value)
+        if isinstance(value, dict):
+            return ("dict",) + tuple(
+                (freeze(k), freeze(v)) for k, v in sorted(value.items())
+            )
+        return value
+
+    return tuple(freeze(a) for a in args)
+
+
+class BoundedVerifier:
+    """Precomputed reference outcomes + candidate sweeps for one problem."""
+
+    def __init__(self, spec: ProblemSpec):
+        self.spec = spec
+        self._inputs: Optional[List[tuple]] = None
+        self._expected: dict = {}
+        self._max_reference_steps = 0
+
+    # -- reference side ------------------------------------------------------
+
+    def _materialize(self) -> None:
+        if self._inputs is not None:
+            return
+        reference = Interpreter(
+            self.spec.reference_module(), fuel=self.spec.fuel
+        )
+        inputs: List[tuple] = []
+        for args in sorted(self.spec.input_space(), key=_input_size_key):
+            outcome = outcome_of(
+                lambda: reference.call(self.spec.function, args),
+                self.spec.compare_stdout,
+            )
+            self._max_reference_steps = max(
+                self._max_reference_steps, self.spec.fuel - reference.fuel
+            )
+            if outcome[0] == ERROR:
+                continue  # outside the problem's precondition
+            inputs.append(args)
+            self._expected[hashable_args(args)] = outcome
+        self._inputs = inputs
+
+    @property
+    def candidate_fuel(self) -> int:
+        """Step budget for candidate runs.
+
+        Calibrated from the reference's worst-case step count over the
+        bounded space: generous enough for any reasonable algorithm (16x
+        the reference, floor 512), small enough that non-terminating
+        student loops (``i += 0``) fail in microseconds instead of
+        exhausting a fixed multi-thousand-step budget on every run.
+        """
+        self._materialize()
+        return min(self.spec.fuel, max(512, 16 * self._max_reference_steps))
+
+    @property
+    def inputs(self) -> List[tuple]:
+        self._materialize()
+        assert self._inputs is not None
+        return self._inputs
+
+    def expected(self, args: tuple) -> Outcome:
+        self._materialize()
+        return self._expected[hashable_args(args)]
+
+    def seed_inputs(self, count: int) -> List[tuple]:
+        """A small prefix of the space, useful as initial CEGIS inputs."""
+        return self.inputs[:count]
+
+    # -- candidate side ---------------------------------------------------------
+
+    def find_counterexample(
+        self,
+        run: Callable[[tuple], Outcome],
+        priority: Iterable[tuple] = (),
+        deadline: Optional[float] = None,
+    ) -> Optional[tuple]:
+        """First input where ``run`` disagrees with the reference.
+
+        ``priority`` inputs (cached past counterexamples) are checked first.
+        Returns None when the candidate matches on the whole bounded space.
+        Raises TimeoutError when ``deadline`` (time.monotonic) passes.
+        """
+        self._materialize()
+        seen = set()
+        for args in priority:
+            key = hashable_args(args)
+            if key in seen or key not in self._expected:
+                continue
+            seen.add(key)
+            if not outcomes_match(self._expected[key], run(args)):
+                return args
+        for index, args in enumerate(self.inputs):
+            if deadline is not None and index % 256 == 0:
+                if time.monotonic() > deadline:
+                    raise TimeoutError("verification deadline exceeded")
+            key = hashable_args(args)
+            if key in seen:
+                continue
+            if not outcomes_match(self._expected[key], run(args)):
+                return args
+        return None
+
+    def is_equivalent(self, run: Callable[[tuple], Outcome]) -> bool:
+        return self.find_counterexample(run) is None

@@ -1,0 +1,39 @@
+"""MPY: the mini-Python language of the paper (Fig. 6a), plus the extras the
+paper's tool supports (closures, higher-order functions, list comprehensions).
+
+This package provides:
+
+- :mod:`repro.mpy.nodes` — the MPY abstract syntax tree.
+- :mod:`repro.mpy.frontend` — a Python-source-to-MPY translator built on the
+  standard :mod:`ast` module, with strict subset checking.
+- :mod:`repro.mpy.values` — the MultiType dynamic-value model (paper Fig. 5)
+  and typed input-space enumeration for bounded verification.
+- :mod:`repro.mpy.interp` — a concrete, fuel-bounded interpreter.
+- :mod:`repro.mpy.printer` — pretty-printer back to executable Python source.
+"""
+
+from repro.mpy.errors import (
+    FrontendError,
+    MPYError,
+    MPYRuntimeError,
+    OutOfFuel,
+    UnsupportedFeature,
+)
+from repro.mpy.frontend import parse_program, parse_expression
+from repro.mpy.interp import Interpreter, run_function
+from repro.mpy.printer import to_source
+from repro.mpy import nodes
+
+__all__ = [
+    "nodes",
+    "parse_program",
+    "parse_expression",
+    "Interpreter",
+    "run_function",
+    "to_source",
+    "MPYError",
+    "FrontendError",
+    "UnsupportedFeature",
+    "MPYRuntimeError",
+    "OutOfFuel",
+]

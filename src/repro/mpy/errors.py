@@ -1,0 +1,48 @@
+"""Exception hierarchy shared across the MPY language implementation."""
+
+from __future__ import annotations
+
+
+class MPYError(Exception):
+    """Base class for every error raised by the repro toolchain."""
+
+
+class FrontendError(MPYError):
+    """The submitted source is not valid Python (syntax error)."""
+
+
+class UnsupportedFeature(FrontendError):
+    """The source is valid Python but uses a construct outside the MPY subset.
+
+    The paper removes such submissions from the test set ("Unimplemented
+    features", Section 5.3); we surface them distinctly so the corpus
+    statistics can account for them the same way.
+    """
+
+    def __init__(self, feature: str, line: int | None = None):
+        self.feature = feature
+        self.line = line
+        where = f" (line {line})" if line is not None else ""
+        super().__init__(f"unsupported Python feature: {feature}{where}")
+
+
+class MPYRuntimeError(MPYError):
+    """A dynamic error while interpreting an MPY program.
+
+    Student programs raise these routinely (index out of range, type
+    mismatches, ...). The verifier treats a run that raises as observably
+    different from a run that returns, mirroring how the paper's SKETCH
+    harness fails assertions on type-flag mismatches.
+    """
+
+    def __init__(self, message: str, line: int | None = None):
+        self.line = line
+        super().__init__(message)
+
+
+class OutOfFuel(MPYRuntimeError):
+    """Execution exceeded its step budget (non-terminating student loop)."""
+
+    def __init__(self, fuel: int):
+        self.fuel = fuel
+        super().__init__(f"execution exceeded {fuel} steps")

@@ -1,0 +1,283 @@
+"""Python source → MPY translation, built on the standard :mod:`ast` module.
+
+The paper's frontend "is implemented in Python itself and uses the Python ast
+module" (Section 5.1). We do the same: parse with :func:`ast.parse`, then
+translate the supported subset into :mod:`repro.mpy.nodes`, raising
+:class:`UnsupportedFeature` for anything outside it so callers can classify
+submissions the way the paper's test-set preparation does.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.mpy import nodes as N
+from repro.mpy.errors import FrontendError, UnsupportedFeature
+
+_BINOPS = {
+    ast.Add: "+",
+    ast.Sub: "-",
+    ast.Mult: "*",
+    ast.Div: "/",
+    ast.FloorDiv: "//",
+    ast.Mod: "%",
+    ast.Pow: "**",
+}
+
+_CMPOPS = {
+    ast.Eq: "==",
+    ast.NotEq: "!=",
+    ast.Lt: "<",
+    ast.Gt: ">",
+    ast.LtE: "<=",
+    ast.GtE: ">=",
+    ast.In: "in",
+    ast.NotIn: "not in",
+}
+
+_UNARYOPS = {ast.USub: "-", ast.UAdd: "+", ast.Not: "not"}
+
+
+def parse_program(source: str) -> N.Module:
+    """Parse Python ``source`` into an MPY :class:`~repro.mpy.nodes.Module`.
+
+    Raises :class:`FrontendError` on syntax errors and
+    :class:`UnsupportedFeature` on constructs outside the MPY subset.
+    """
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:  # student submissions with syntax errors
+        raise FrontendError(f"syntax error: {exc}") from exc
+    body = tuple(_stmt(s) for s in tree.body)
+    return N.Module(body=body)
+
+
+def parse_expression(source: str) -> N.Expr:
+    """Parse a single Python expression into an MPY expression node."""
+    try:
+        tree = ast.parse(source, mode="eval")
+    except SyntaxError as exc:
+        raise FrontendError(f"syntax error in expression: {exc}") from exc
+    return _expr(tree.body)
+
+
+def _stmt(node: ast.stmt) -> N.Stmt:
+    line = getattr(node, "lineno", None)
+    if isinstance(node, ast.FunctionDef):
+        if node.decorator_list:
+            raise UnsupportedFeature("decorators", line)
+        args = node.args
+        if (
+            args.vararg
+            or args.kwarg
+            or args.kwonlyargs
+            or args.posonlyargs
+            or args.defaults
+            or args.kw_defaults
+        ):
+            raise UnsupportedFeature("non-positional function parameters", line)
+        params = tuple(a.arg for a in args.args)
+        body = tuple(_stmt(s) for s in node.body)
+        return N.FuncDef(name=node.name, params=params, body=body, line=line)
+    if isinstance(node, ast.Return):
+        value = _expr(node.value) if node.value is not None else None
+        return N.Return(value=value, line=line)
+    if isinstance(node, ast.Assign):
+        if len(node.targets) != 1:
+            raise UnsupportedFeature("chained assignment", line)
+        target = _expr(node.targets[0])
+        _check_assign_target(target, line)
+        return N.Assign(target=target, value=_expr(node.value), line=line)
+    if isinstance(node, ast.AugAssign):
+        op = _BINOPS.get(type(node.op))
+        if op is None:
+            raise UnsupportedFeature(
+                f"augmented assignment operator {type(node.op).__name__}", line
+            )
+        target = _expr(node.target)
+        _check_assign_target(target, line)
+        return N.AugAssign(target=target, op=op, value=_expr(node.value), line=line)
+    if isinstance(node, ast.Expr):
+        return N.ExprStmt(value=_expr(node.value), line=line)
+    if isinstance(node, ast.If):
+        return N.If(
+            test=_expr(node.test),
+            body=tuple(_stmt(s) for s in node.body),
+            orelse=tuple(_stmt(s) for s in node.orelse),
+            line=line,
+        )
+    if isinstance(node, ast.While):
+        if node.orelse:
+            raise UnsupportedFeature("while/else", line)
+        return N.While(
+            test=_expr(node.test),
+            body=tuple(_stmt(s) for s in node.body),
+            line=line,
+        )
+    if isinstance(node, ast.For):
+        if node.orelse:
+            raise UnsupportedFeature("for/else", line)
+        target = _expr(node.target)
+        _check_assign_target(target, line)
+        return N.For(
+            target=target,
+            iter=_expr(node.iter),
+            body=tuple(_stmt(s) for s in node.body),
+            line=line,
+        )
+    if isinstance(node, ast.Pass):
+        return N.Pass(line=line)
+    if isinstance(node, ast.Break):
+        return N.Break(line=line)
+    if isinstance(node, ast.Continue):
+        return N.Continue(line=line)
+    raise UnsupportedFeature(type(node).__name__, line)
+
+
+def _check_assign_target(target: N.Expr, line) -> None:
+    if isinstance(target, (N.Var, N.Index, N.Slice)):
+        return
+    if isinstance(target, N.TupleLit):
+        for elt in target.elts:
+            _check_assign_target(elt, line)
+        return
+    raise UnsupportedFeature(
+        f"assignment target {type(target).__name__}", line
+    )
+
+
+def _expr(node: ast.expr) -> N.Expr:
+    line = getattr(node, "lineno", None)
+    if isinstance(node, ast.Constant):
+        return _constant(node, line)
+    if isinstance(node, ast.Name):
+        return N.Var(name=node.id, line=line)
+    if isinstance(node, ast.BinOp):
+        op = _BINOPS.get(type(node.op))
+        if op is None:
+            raise UnsupportedFeature(f"operator {type(node.op).__name__}", line)
+        return N.BinOp(op=op, left=_expr(node.left), right=_expr(node.right), line=line)
+    if isinstance(node, ast.UnaryOp):
+        op = _UNARYOPS.get(type(node.op))
+        if op is None:
+            raise UnsupportedFeature(f"operator {type(node.op).__name__}", line)
+        return N.UnaryOp(op=op, operand=_expr(node.operand), line=line)
+    if isinstance(node, ast.BoolOp):
+        op = "and" if isinstance(node.op, ast.And) else "or"
+        result = _expr(node.values[-1])
+        for value in reversed(node.values[:-1]):
+            result = N.BoolOp(op=op, left=_expr(value), right=result, line=line)
+        return result
+    if isinstance(node, ast.Compare):
+        return _compare(node, line)
+    if isinstance(node, ast.Call):
+        if node.keywords:
+            raise UnsupportedFeature("keyword arguments", line)
+        if any(isinstance(a, ast.Starred) for a in node.args):
+            raise UnsupportedFeature("star arguments", line)
+        return N.Call(
+            func=_expr(node.func),
+            args=tuple(_expr(a) for a in node.args),
+            line=line,
+        )
+    if isinstance(node, ast.Attribute):
+        return N.Attribute(obj=_expr(node.value), attr=node.attr, line=line)
+    if isinstance(node, ast.Subscript):
+        return _subscript(node, line)
+    if isinstance(node, ast.List):
+        return N.ListLit(elts=tuple(_expr(e) for e in node.elts), line=line)
+    if isinstance(node, ast.Tuple):
+        return N.TupleLit(elts=tuple(_expr(e) for e in node.elts), line=line)
+    if isinstance(node, ast.Dict):
+        if any(k is None for k in node.keys):
+            raise UnsupportedFeature("dict unpacking", line)
+        return N.DictLit(
+            keys=tuple(_expr(k) for k in node.keys),
+            values=tuple(_expr(v) for v in node.values),
+            line=line,
+        )
+    if isinstance(node, ast.IfExp):
+        return N.IfExp(
+            test=_expr(node.test),
+            body=_expr(node.body),
+            orelse=_expr(node.orelse),
+            line=line,
+        )
+    if isinstance(node, ast.ListComp):
+        return _listcomp(node, line)
+    if isinstance(node, ast.Lambda):
+        args = node.args
+        if (
+            args.vararg
+            or args.kwarg
+            or args.kwonlyargs
+            or args.posonlyargs
+            or args.defaults
+            or args.kw_defaults
+        ):
+            raise UnsupportedFeature("non-positional lambda parameters", line)
+        return N.Lambda(
+            params=tuple(a.arg for a in args.args),
+            body=_expr(node.body),
+            line=line,
+        )
+    raise UnsupportedFeature(type(node).__name__, line)
+
+
+def _constant(node: ast.Constant, line) -> N.Expr:
+    value = node.value
+    if isinstance(value, bool):
+        return N.BoolLit(value=value, line=line)
+    if isinstance(value, int):
+        return N.IntLit(value=value, line=line)
+    if isinstance(value, str):
+        return N.StrLit(value=value, line=line)
+    if value is None:
+        return N.NoneLit(line=line)
+    raise UnsupportedFeature(f"constant of type {type(value).__name__}", line)
+
+
+def _compare(node: ast.Compare, line) -> N.Expr:
+    """Desugar chained comparisons: ``a < b < c`` → ``a < b and b < c``."""
+    operands = [_expr(node.left)] + [_expr(c) for c in node.comparators]
+    parts = []
+    for op_node, left, right in zip(node.ops, operands, operands[1:]):
+        op = _CMPOPS.get(type(op_node))
+        if op is None:
+            raise UnsupportedFeature(f"comparison {type(op_node).__name__}", line)
+        parts.append(N.Compare(op=op, left=left, right=right, line=line))
+    result = parts[0]
+    for part in parts[1:]:
+        result = N.BoolOp(op="and", left=result, right=part, line=line)
+    return result
+
+
+def _subscript(node: ast.Subscript, line) -> N.Expr:
+    obj = _expr(node.value)
+    sl = node.slice
+    if isinstance(sl, ast.Slice):
+        return N.Slice(
+            obj=obj,
+            lower=_expr(sl.lower) if sl.lower is not None else None,
+            upper=_expr(sl.upper) if sl.upper is not None else None,
+            step=_expr(sl.step) if sl.step is not None else None,
+            line=line,
+        )
+    return N.Index(obj=obj, index=_expr(sl), line=line)
+
+
+def _listcomp(node: ast.ListComp, line) -> N.Expr:
+    if len(node.generators) != 1:
+        raise UnsupportedFeature("nested comprehension generators", line)
+    gen = node.generators[0]
+    if gen.is_async:
+        raise UnsupportedFeature("async comprehension", line)
+    target = _expr(gen.target)
+    _check_assign_target(target, line)
+    return N.ListComp(
+        elt=_expr(node.elt),
+        target=target,
+        iter=_expr(gen.iter),
+        conds=tuple(_expr(c) for c in gen.ifs),
+        line=line,
+    )

@@ -1,0 +1,1070 @@
+"""A concrete, fuel-bounded interpreter for MPY programs.
+
+Semantics follow Python 3 on the supported subset, with two deliberate
+deviations that mirror the paper's tool:
+
+- ``range`` returns a *list* (the 2012 course targeted Python 2, and the
+  paper's Fig. 2(c) student program assigns into a ``range`` result);
+- every run is bounded by a *fuel* budget so non-terminating student loops
+  become observable :class:`OutOfFuel` failures rather than hangs (the
+  paper's counterpart is SKETCH's bounded loop unrolling).
+
+Dynamic errors (bad index, type mismatch, ...) raise
+:class:`MPYRuntimeError`; the verifier treats them as observable outcomes.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+from repro.mpy import nodes as N
+from repro.mpy.errors import MPYRuntimeError, OutOfFuel
+from repro.mpy.values import clone_value
+
+DEFAULT_FUEL = 100_000
+MAX_COLLECTION = 10_000
+MAX_RECURSION = 64
+_INT_MAGNITUDE_CAP = 1 << 64
+
+# Tree-walking interpretation burns several Python frames per MPY
+# expression level; MAX_RECURSION MPY frames over deep (rewritten) trees
+# need headroom well beyond CPython's default 1000.
+if sys.getrecursionlimit() < 100_000:
+    sys.setrecursionlimit(100_000)
+
+
+class _ReturnSignal(Exception):
+    def __init__(self, value):
+        self.value = value
+
+
+class _BreakSignal(Exception):
+    pass
+
+
+class _ContinueSignal(Exception):
+    pass
+
+
+def assigned_names(stmts: Tuple[N.Stmt, ...]) -> frozenset:
+    """Names bound by assignment anywhere in a statement block.
+
+    Used to reproduce Python's local-variable rule: a name assigned anywhere
+    in a function body is local to that function. Does not descend into
+    nested function definitions (those introduce their own scope).
+    """
+    names = set()
+
+    def collect_target(target: N.Expr) -> None:
+        if isinstance(target, N.Var):
+            names.add(target.name)
+        elif isinstance(target, N.TupleLit):
+            for elt in target.elts:
+                collect_target(elt)
+
+    def visit(stmt: N.Stmt) -> None:
+        if isinstance(stmt, (N.Assign, N.AugAssign)):
+            collect_target(stmt.target)
+        elif isinstance(stmt, N.For):
+            collect_target(stmt.target)
+            for s in stmt.body:
+                visit(s)
+        elif isinstance(stmt, N.FuncDef):
+            names.add(stmt.name)
+        elif isinstance(stmt, N.If):
+            for s in stmt.body + stmt.orelse:
+                visit(s)
+        elif isinstance(stmt, N.While):
+            for s in stmt.body:
+                visit(s)
+
+    for stmt in stmts:
+        visit(stmt)
+    return frozenset(names)
+
+
+class Env:
+    """A lexical scope frame with Python's local-binding rule."""
+
+    __slots__ = ("vars", "parent", "declared")
+
+    def __init__(self, parent: Optional["Env"] = None, declared: frozenset = frozenset()):
+        self.vars: dict = {}
+        self.parent = parent
+        self.declared = declared
+
+    def lookup(self, name: str):
+        env = self
+        while env is not None:
+            if name in env.vars:
+                return env.vars[name]
+            if name in env.declared:
+                raise MPYRuntimeError(
+                    f"local variable '{name}' referenced before assignment"
+                )
+            env = env.parent
+        raise MPYRuntimeError(f"name '{name}' is not defined")
+
+    def assign(self, name: str, value) -> None:
+        self.vars[name] = value
+
+
+@dataclass
+class Closure:
+    """A user function paired with its defining environment."""
+
+    name: str
+    params: Tuple[str, ...]
+    body: Tuple[N.Stmt, ...]
+    env: Env
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<closure {self.name}/{len(self.params)}>"
+
+
+@dataclass
+class BuiltinFunction:
+    name: str
+    fn: Callable
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<builtin {self.name}>"
+
+
+@dataclass
+class RunResult:
+    """Outcome of calling a function: return value plus captured stdout."""
+
+    value: object
+    stdout: Tuple[str, ...] = ()
+
+
+class Interpreter:
+    """Interprets an MPY :class:`~repro.mpy.nodes.Module`.
+
+    Top-level statements run at construction time (binding function
+    definitions into the global scope); :meth:`call` then invokes a function
+    by name on native-Python argument values.
+    """
+
+    def __init__(
+        self,
+        module: N.Module,
+        fuel: int = DEFAULT_FUEL,
+        max_collection: int = MAX_COLLECTION,
+    ):
+        self.module = module
+        self.max_fuel = fuel
+        self.max_collection = max_collection
+        self.fuel = fuel
+        self.depth = 0
+        self.stdout: list = []
+        self.globals = Env()
+        self._install_builtins()
+        for stmt in module.body:
+            self.exec_stmt(stmt, self.globals)
+
+    # -- public API --------------------------------------------------------
+
+    def call(self, name: str, args: tuple) -> RunResult:
+        """Call global function ``name`` with ``args``; fresh fuel + stdout."""
+        self.fuel = self.max_fuel
+        self.depth = 0
+        self.stdout = []
+        fn = self.globals.lookup(name)
+        try:
+            value = self.call_value(fn, [clone_value(a) for a in args])
+        except RecursionError:
+            raise MPYRuntimeError("expression nesting too deep") from None
+        return RunResult(value=value, stdout=tuple(self.stdout))
+
+    # -- helpers -----------------------------------------------------------
+
+    def _burn(self, amount: int = 1) -> None:
+        self.fuel -= amount
+        if self.fuel < 0:
+            raise OutOfFuel(self.max_fuel)
+
+    def _check_size(self, n: int) -> None:
+        if n > self.max_collection:
+            raise MPYRuntimeError(f"collection of size {n} exceeds bound")
+
+    def call_value(self, fn, args: list):
+        if isinstance(fn, BuiltinFunction):
+            self._burn()
+            return fn.fn(*args)
+        if isinstance(fn, Closure):
+            if len(args) != len(fn.params):
+                raise MPYRuntimeError(
+                    f"{fn.name}() takes {len(fn.params)} arguments, got {len(args)}"
+                )
+            self.depth += 1
+            if self.depth > MAX_RECURSION:
+                self.depth -= 1
+                raise MPYRuntimeError("maximum recursion depth exceeded")
+            env = Env(parent=fn.env, declared=assigned_names(fn.body))
+            for param, arg in zip(fn.params, args):
+                env.assign(param, arg)
+            try:
+                self.exec_block(fn.body, env)
+                return None
+            except _ReturnSignal as ret:
+                return ret.value
+            finally:
+                self.depth -= 1
+        raise MPYRuntimeError(f"{_type_name(fn)} object is not callable")
+
+    # -- statements --------------------------------------------------------
+
+    def exec_block(self, stmts: Tuple[N.Stmt, ...], env: Env) -> None:
+        for stmt in stmts:
+            self.exec_stmt(stmt, env)
+
+    def exec_stmt(self, stmt: N.Stmt, env: Env) -> None:
+        self._burn()
+        method = getattr(self, "exec_" + type(stmt).__name__, None)
+        if method is None:
+            raise MPYRuntimeError(f"cannot execute {type(stmt).__name__}")
+        method(stmt, env)
+
+    def exec_Assign(self, stmt: N.Assign, env: Env) -> None:
+        value = self.eval(stmt.value, env)
+        self.assign_target(stmt.target, value, env)
+
+    def exec_AugAssign(self, stmt: N.AugAssign, env: Env) -> None:
+        current = self.eval_target_read(stmt.target, env)
+        value = self.eval(stmt.value, env)
+        # Match Python's in-place list +=: extend rather than rebind copies.
+        if stmt.op == "+" and isinstance(current, list):
+            if not isinstance(value, (list, tuple)):
+                raise MPYRuntimeError(
+                    f"can only concatenate list (not {_type_name(value)}) to list"
+                )
+            self._check_size(len(current) + len(value))
+            current.extend(value)
+            return
+        result = self.binary_op(stmt.op, current, value)
+        self.assign_target(stmt.target, result, env)
+
+    def exec_ExprStmt(self, stmt: N.ExprStmt, env: Env) -> None:
+        self.eval(stmt.value, env)
+
+    def exec_If(self, stmt: N.If, env: Env) -> None:
+        if self.truthy(self.eval(stmt.test, env)):
+            self.exec_block(stmt.body, env)
+        else:
+            self.exec_block(stmt.orelse, env)
+
+    def exec_While(self, stmt: N.While, env: Env) -> None:
+        while self.truthy(self.eval(stmt.test, env)):
+            self._burn()
+            try:
+                self.exec_block(stmt.body, env)
+            except _BreakSignal:
+                break
+            except _ContinueSignal:
+                continue
+
+    def exec_For(self, stmt: N.For, env: Env) -> None:
+        iterable = self.eval(stmt.iter, env)
+        for item in self.iterate(iterable):
+            self._burn()
+            self.assign_target(stmt.target, item, env)
+            try:
+                self.exec_block(stmt.body, env)
+            except _BreakSignal:
+                break
+            except _ContinueSignal:
+                continue
+
+    def exec_Return(self, stmt: N.Return, env: Env) -> None:
+        value = self.eval(stmt.value, env) if stmt.value is not None else None
+        raise _ReturnSignal(value)
+
+    def exec_Pass(self, stmt: N.Pass, env: Env) -> None:
+        pass
+
+    def exec_Break(self, stmt: N.Break, env: Env) -> None:
+        raise _BreakSignal()
+
+    def exec_Continue(self, stmt: N.Continue, env: Env) -> None:
+        raise _ContinueSignal()
+
+    def exec_FuncDef(self, stmt: N.FuncDef, env: Env) -> None:
+        env.assign(
+            stmt.name,
+            Closure(name=stmt.name, params=stmt.params, body=stmt.body, env=env),
+        )
+
+    # -- assignment targets -------------------------------------------------
+
+    def assign_target(self, target: N.Expr, value, env: Env) -> None:
+        if isinstance(target, N.Var):
+            env.assign(target.name, value)
+            return
+        if isinstance(target, N.Index):
+            obj = self.eval(target.obj, env)
+            index = self.eval(target.index, env)
+            self.set_index(obj, index, value)
+            return
+        if isinstance(target, N.Slice):
+            obj = self.eval(target.obj, env)
+            if not isinstance(obj, list):
+                raise MPYRuntimeError(
+                    f"{_type_name(obj)} does not support slice assignment"
+                )
+            sl = self._make_slice(target, env)
+            if not isinstance(value, (list, tuple, str)):
+                raise MPYRuntimeError("can only assign an iterable to a slice")
+            obj[sl] = list(value)
+            self._check_size(len(obj))
+            return
+        if isinstance(target, N.TupleLit):
+            items = list(self.iterate(value))
+            if len(items) != len(target.elts):
+                raise MPYRuntimeError(
+                    f"cannot unpack {len(items)} values into {len(target.elts)} targets"
+                )
+            for sub, item in zip(target.elts, items):
+                self.assign_target(sub, item, env)
+            return
+        raise MPYRuntimeError(f"cannot assign to {type(target).__name__}")
+
+    def eval_target_read(self, target: N.Expr, env: Env):
+        """Read the current value of an assignment target (for AugAssign)."""
+        return self.eval(target, env)
+
+    # -- expressions ---------------------------------------------------------
+
+    def eval(self, expr: N.Expr, env: Env):
+        method = getattr(self, "eval_" + type(expr).__name__, None)
+        if method is None:
+            raise MPYRuntimeError(f"cannot evaluate {type(expr).__name__}")
+        return method(expr, env)
+
+    def eval_IntLit(self, expr: N.IntLit, env: Env):
+        return expr.value
+
+    def eval_BoolLit(self, expr: N.BoolLit, env: Env):
+        return expr.value
+
+    def eval_StrLit(self, expr: N.StrLit, env: Env):
+        return expr.value
+
+    def eval_NoneLit(self, expr: N.NoneLit, env: Env):
+        return None
+
+    def eval_Var(self, expr: N.Var, env: Env):
+        return env.lookup(expr.name)
+
+    def eval_ListLit(self, expr: N.ListLit, env: Env):
+        return [self.eval(e, env) for e in expr.elts]
+
+    def eval_TupleLit(self, expr: N.TupleLit, env: Env):
+        return tuple(self.eval(e, env) for e in expr.elts)
+
+    def eval_DictLit(self, expr: N.DictLit, env: Env):
+        result = {}
+        for key_expr, value_expr in zip(expr.keys, expr.values):
+            key = self.eval(key_expr, env)
+            if isinstance(key, (list, dict)):
+                raise MPYRuntimeError(f"unhashable type: '{_type_name(key)}'")
+            result[key] = self.eval(value_expr, env)
+        return result
+
+    def eval_BinOp(self, expr: N.BinOp, env: Env):
+        left = self.eval(expr.left, env)
+        right = self.eval(expr.right, env)
+        return self.binary_op(expr.op, left, right)
+
+    def eval_UnaryOp(self, expr: N.UnaryOp, env: Env):
+        operand = self.eval(expr.operand, env)
+        if expr.op == "not":
+            return not self.truthy(operand)
+        if expr.op == "-":
+            if isinstance(operand, bool):
+                return -int(operand)
+            if isinstance(operand, (int, float)):
+                return -operand
+            raise MPYRuntimeError(f"bad operand type for unary -: {_type_name(operand)}")
+        if expr.op == "+":
+            if isinstance(operand, (int, float)):
+                return operand
+            raise MPYRuntimeError(f"bad operand type for unary +: {_type_name(operand)}")
+        raise MPYRuntimeError(f"unknown unary operator {expr.op}")
+
+    def eval_Compare(self, expr: N.Compare, env: Env):
+        left = self.eval(expr.left, env)
+        right = self.eval(expr.right, env)
+        return self.compare_op(expr.op, left, right)
+
+    def eval_BoolOp(self, expr: N.BoolOp, env: Env):
+        left = self.eval(expr.left, env)
+        if expr.op == "and":
+            if not self.truthy(left):
+                return left
+            return self.eval(expr.right, env)
+        if not self.truthy(left):
+            return self.eval(expr.right, env)
+        return left
+
+    def eval_Index(self, expr: N.Index, env: Env):
+        obj = self.eval(expr.obj, env)
+        index = self.eval(expr.index, env)
+        return self.get_index(obj, index)
+
+    def eval_Slice(self, expr: N.Slice, env: Env):
+        obj = self.eval(expr.obj, env)
+        if not isinstance(obj, (list, tuple, str)):
+            raise MPYRuntimeError(f"{_type_name(obj)} is not subscriptable")
+        return obj[self._make_slice(expr, env)]
+
+    def _make_slice(self, expr: N.Slice, env: Env) -> slice:
+        def bound(sub: Optional[N.Expr]):
+            if sub is None:
+                return None
+            value = self.eval(sub, env)
+            if isinstance(value, bool):
+                return int(value)
+            if not isinstance(value, int):
+                raise MPYRuntimeError(
+                    f"slice indices must be integers, not {_type_name(value)}"
+                )
+            return value
+
+        step = bound(expr.step)
+        if step == 0:
+            raise MPYRuntimeError("slice step cannot be zero")
+        return slice(bound(expr.lower), bound(expr.upper), step)
+
+    def eval_Attribute(self, expr: N.Attribute, env: Env):
+        obj = self.eval(expr.obj, env)
+        return self.bind_method(obj, expr.attr)
+
+    def eval_Call(self, expr: N.Call, env: Env):
+        fn = self.eval(expr.func, env)
+        args = [self.eval(a, env) for a in expr.args]
+        return self.call_value(fn, args)
+
+    def eval_IfExp(self, expr: N.IfExp, env: Env):
+        if self.truthy(self.eval(expr.test, env)):
+            return self.eval(expr.body, env)
+        return self.eval(expr.orelse, env)
+
+    def eval_ListComp(self, expr: N.ListComp, env: Env):
+        iterable = self.eval(expr.iter, env)
+        comp_env = Env(parent=env)
+        result = []
+        for item in self.iterate(iterable):
+            self._burn()
+            self.assign_target(expr.target, item, comp_env)
+            if all(
+                self.truthy(self.eval(cond, comp_env)) for cond in expr.conds
+            ):
+                result.append(self.eval(expr.elt, comp_env))
+                self._check_size(len(result))
+        return result
+
+    def eval_Lambda(self, expr: N.Lambda, env: Env):
+        return Closure(
+            name="<lambda>",
+            params=expr.params,
+            body=(N.Return(value=expr.body),),
+            env=env,
+        )
+
+    # -- operator semantics ---------------------------------------------------
+
+    def truthy(self, value) -> bool:
+        if isinstance(value, (bool, int, float, str, list, tuple, dict)) or value is None:
+            return bool(value)
+        raise MPYRuntimeError(f"cannot convert {_type_name(value)} to bool")
+
+    def iterate(self, value):
+        if isinstance(value, (list, tuple, str)):
+            return list(value)
+        if isinstance(value, dict):
+            return list(value.keys())
+        raise MPYRuntimeError(f"{_type_name(value)} object is not iterable")
+
+    def binary_op(self, op: str, left, right):
+        self._burn()
+        try:
+            return self._binary_op(op, left, right)
+        except ZeroDivisionError:
+            raise MPYRuntimeError("division by zero") from None
+        except OverflowError:
+            raise MPYRuntimeError("arithmetic overflow") from None
+
+    def _binary_op(self, op: str, left, right):
+        if op == "+":
+            if _both_numeric(left, right):
+                return left + right
+            if isinstance(left, str) and isinstance(right, str):
+                return left + right
+            if isinstance(left, list) and isinstance(right, list):
+                self._check_size(len(left) + len(right))
+                return left + right
+            if isinstance(left, tuple) and isinstance(right, tuple):
+                self._check_size(len(left) + len(right))
+                return left + right
+            raise MPYRuntimeError(
+                f"unsupported operand type(s) for +: "
+                f"{_type_name(left)} and {_type_name(right)}"
+            )
+        if op == "*":
+            if _both_numeric(left, right):
+                self._check_magnitude(left, right)
+                return left * right
+            for seq, count in ((left, right), (right, left)):
+                if isinstance(seq, (str, list, tuple)) and isinstance(count, int):
+                    self._check_size(len(seq) * max(count, 0))
+                    return seq * count
+            raise MPYRuntimeError(
+                f"unsupported operand type(s) for *: "
+                f"{_type_name(left)} and {_type_name(right)}"
+            )
+        if op in ("-", "/", "//", "%", "**"):
+            if not _both_numeric(left, right):
+                raise MPYRuntimeError(
+                    f"unsupported operand type(s) for {op}: "
+                    f"{_type_name(left)} and {_type_name(right)}"
+                )
+            if op == "-":
+                return left - right
+            if op == "/":
+                return left / right
+            if op == "//":
+                return left // right
+            if op == "%":
+                return left % right
+            # ** with magnitude guards: student loops often explode here.
+            if isinstance(left, int) and isinstance(right, int):
+                if right > 256 or abs(left) > _INT_MAGNITUDE_CAP:
+                    raise MPYRuntimeError("arithmetic overflow")
+                if right < 0:
+                    if left == 0:
+                        raise MPYRuntimeError("division by zero")
+                    return left**right  # float result, Python semantics
+            return left**right
+        raise MPYRuntimeError(f"unknown operator {op}")
+
+    def _check_magnitude(self, left, right) -> None:
+        if (
+            isinstance(left, int)
+            and isinstance(right, int)
+            and (abs(left) > _INT_MAGNITUDE_CAP or abs(right) > _INT_MAGNITUDE_CAP)
+        ):
+            raise MPYRuntimeError("arithmetic overflow")
+
+    def compare_op(self, op: str, left, right):
+        self._burn()
+        if op == "==":
+            return left == right
+        if op == "!=":
+            return left != right
+        if op == "in" or op == "not in":
+            if isinstance(right, str):
+                if not isinstance(left, str):
+                    raise MPYRuntimeError(
+                        "'in <string>' requires string as left operand, "
+                        f"not {_type_name(left)}"
+                    )
+                found = left in right
+            elif isinstance(right, (list, tuple, dict)):
+                found = left in right
+            else:
+                raise MPYRuntimeError(
+                    f"argument of type {_type_name(right)} is not iterable"
+                )
+            return found if op == "in" else not found
+        # Ordered comparisons require compatible types, as in Python 3.
+        if _both_numeric(left, right):
+            pass
+        elif isinstance(left, str) and isinstance(right, str):
+            pass
+        elif isinstance(left, list) and isinstance(right, list):
+            pass
+        elif isinstance(left, tuple) and isinstance(right, tuple):
+            pass
+        else:
+            raise MPYRuntimeError(
+                f"'{op}' not supported between instances of "
+                f"{_type_name(left)} and {_type_name(right)}"
+            )
+        try:
+            if op == "<":
+                return left < right
+            if op == ">":
+                return left > right
+            if op == "<=":
+                return left <= right
+            if op == ">=":
+                return left >= right
+        except TypeError as exc:
+            raise MPYRuntimeError(str(exc)) from None
+        raise MPYRuntimeError(f"unknown comparison {op}")
+
+    # -- indexing ---------------------------------------------------------------
+
+    def get_index(self, obj, index):
+        self._burn()
+        if isinstance(obj, dict):
+            if isinstance(index, (list, dict)):
+                raise MPYRuntimeError(f"unhashable type: '{_type_name(index)}'")
+            if index not in obj:
+                raise MPYRuntimeError(f"KeyError: {index!r}")
+            return obj[index]
+        if isinstance(obj, (list, tuple, str)):
+            if isinstance(index, bool):
+                index = int(index)
+            if not isinstance(index, int):
+                raise MPYRuntimeError(
+                    f"indices must be integers, not {_type_name(index)}"
+                )
+            if index < -len(obj) or index >= len(obj):
+                raise MPYRuntimeError(f"{_type_name(obj)} index out of range")
+            return obj[index]
+        raise MPYRuntimeError(f"{_type_name(obj)} object is not subscriptable")
+
+    def set_index(self, obj, index, value) -> None:
+        self._burn()
+        if isinstance(obj, dict):
+            if isinstance(index, (list, dict)):
+                raise MPYRuntimeError(f"unhashable type: '{_type_name(index)}'")
+            obj[index] = value
+            self._check_size(len(obj))
+            return
+        if isinstance(obj, list):
+            if isinstance(index, bool):
+                index = int(index)
+            if not isinstance(index, int):
+                raise MPYRuntimeError(
+                    f"list indices must be integers, not {_type_name(index)}"
+                )
+            if index < -len(obj) or index >= len(obj):
+                raise MPYRuntimeError("list assignment index out of range")
+            obj[index] = value
+            return
+        raise MPYRuntimeError(
+            f"{_type_name(obj)} object does not support item assignment"
+        )
+
+    # -- methods -----------------------------------------------------------------
+
+    def bind_method(self, obj, attr: str):
+        key = (type(obj).__name__ if not isinstance(obj, bool) else "bool", attr)
+        methods = _LIST_METHODS if isinstance(obj, list) else (
+            _STR_METHODS if isinstance(obj, str) else (
+                _DICT_METHODS if isinstance(obj, dict) else (
+                    _TUPLE_METHODS if isinstance(obj, tuple) else None
+                )
+            )
+        )
+        if methods is None or attr not in methods:
+            raise MPYRuntimeError(
+                f"{_type_name(obj)} object has no attribute '{attr}'"
+            )
+        del key
+        impl = methods[attr]
+        return BuiltinFunction(
+            name=f"{_type_name(obj)}.{attr}",
+            fn=lambda *args: impl(self, obj, *args),
+        )
+
+    # -- builtins -----------------------------------------------------------------
+
+    def _install_builtins(self) -> None:
+        for name, fn in _make_builtins(self).items():
+            self.globals.assign(name, BuiltinFunction(name=name, fn=fn))
+
+
+def _type_name(value) -> str:
+    if value is None:
+        return "NoneType"
+    if isinstance(value, Closure) or isinstance(value, BuiltinFunction):
+        return "function"
+    return type(value).__name__
+
+
+def _both_numeric(left, right) -> bool:
+    return isinstance(left, (bool, int, float)) and isinstance(right, (bool, int, float))
+
+
+def _require_int(value, what: str) -> int:
+    if isinstance(value, bool):
+        return int(value)
+    if not isinstance(value, int):
+        raise MPYRuntimeError(f"{what} must be an integer, not {_type_name(value)}")
+    return value
+
+
+def _make_builtins(interp: Interpreter) -> dict:
+    def _len(value):
+        if isinstance(value, (str, list, tuple, dict)):
+            return len(value)
+        raise MPYRuntimeError(f"object of type {_type_name(value)} has no len()")
+
+    def _range(*args):
+        if not 1 <= len(args) <= 3:
+            raise MPYRuntimeError("range expected 1 to 3 arguments")
+        ints = [_require_int(a, "range() argument") for a in args]
+        if len(ints) == 1:
+            lo, hi, step = 0, ints[0], 1
+        elif len(ints) == 2:
+            (lo, hi), step = ints, 1
+        else:
+            lo, hi, step = ints
+        if step == 0:
+            raise MPYRuntimeError("range() arg 3 must not be zero")
+        size = max(0, (hi - lo + (step - (1 if step > 0 else -1))) // step)
+        interp._check_size(size)
+        return list(range(lo, hi, step))
+
+    def _list(value=None):
+        if value is None:
+            return []
+        return list(interp.iterate(value))
+
+    def _tuple(value=None):
+        if value is None:
+            return ()
+        return tuple(interp.iterate(value))
+
+    def _str(value=""):
+        return _format_value(value)
+
+    def _int(value=0):
+        if isinstance(value, bool):
+            return int(value)
+        if isinstance(value, (int, float)):
+            return int(value)
+        if isinstance(value, str):
+            try:
+                return int(value.strip())
+            except ValueError:
+                raise MPYRuntimeError(
+                    f"invalid literal for int(): {value!r}"
+                ) from None
+        raise MPYRuntimeError(f"int() argument must not be {_type_name(value)}")
+
+    def _bool(value=False):
+        return interp.truthy(value)
+
+    def _abs(value):
+        if isinstance(value, (bool, int, float)):
+            return abs(value)
+        raise MPYRuntimeError(f"bad operand type for abs(): {_type_name(value)}")
+
+    def _min_max(which, *args):
+        if len(args) == 1:
+            items = interp.iterate(args[0])
+            if not items:
+                raise MPYRuntimeError(f"{which}() arg is an empty sequence")
+        else:
+            items = list(args)
+        if not items:
+            raise MPYRuntimeError(f"{which} expected at least 1 argument")
+        try:
+            return min(items) if which == "min" else max(items)
+        except TypeError as exc:
+            raise MPYRuntimeError(str(exc)) from None
+
+    def _sum(value, start=0):
+        total = start
+        for item in interp.iterate(value):
+            total = interp.binary_op("+", total, item)
+        return total
+
+    def _sorted(value):
+        items = interp.iterate(value)
+        try:
+            return sorted(items)
+        except TypeError as exc:
+            raise MPYRuntimeError(str(exc)) from None
+
+    def _reversed(value):
+        return list(reversed(interp.iterate(value)))
+
+    def _print(*args):
+        interp.stdout.append(" ".join(_format_value(a) for a in args))
+
+    def _float(value=0.0):
+        if isinstance(value, (bool, int, float)):
+            return float(value)
+        if isinstance(value, str):
+            try:
+                return float(value.strip())
+            except ValueError:
+                raise MPYRuntimeError(
+                    f"could not convert string to float: {value!r}"
+                ) from None
+        raise MPYRuntimeError(f"float() argument must not be {_type_name(value)}")
+
+    def _round(value, digits=None):
+        if not isinstance(value, (bool, int, float)):
+            raise MPYRuntimeError(f"cannot round {_type_name(value)}")
+        if digits is None:
+            return round(value)
+        return round(value, _require_int(digits, "round() digits"))
+
+    return {
+        "len": _len,
+        "range": _range,
+        "list": _list,
+        "tuple": _tuple,
+        "str": _str,
+        "int": _int,
+        "bool": _bool,
+        "float": _float,
+        "abs": _abs,
+        "min": lambda *a: _min_max("min", *a),
+        "max": lambda *a: _min_max("max", *a),
+        "sum": _sum,
+        "sorted": _sorted,
+        "reversed": _reversed,
+        "round": _round,
+        "print": _print,
+    }
+
+
+def _format_value(value) -> str:
+    """``str()`` of a value, matching Python's output formatting."""
+    if value is None:
+        return "None"
+    if isinstance(value, bool):
+        return "True" if value else "False"
+    if isinstance(value, (int, float)):
+        return str(value)
+    if isinstance(value, str):
+        return value
+    if isinstance(value, list):
+        return "[" + ", ".join(_repr_value(v) for v in value) + "]"
+    if isinstance(value, tuple):
+        if len(value) == 1:
+            return "(" + _repr_value(value[0]) + ",)"
+        return "(" + ", ".join(_repr_value(v) for v in value) + ")"
+    if isinstance(value, dict):
+        return (
+            "{"
+            + ", ".join(
+                f"{_repr_value(k)}: {_repr_value(v)}" for k, v in value.items()
+            )
+            + "}"
+        )
+    return repr(value)
+
+
+def _repr_value(value) -> str:
+    if isinstance(value, str):
+        return repr(value)
+    return _format_value(value)
+
+
+# -- list methods --------------------------------------------------------------
+
+
+def _list_append(interp, obj, *args):
+    if len(args) != 1:
+        raise MPYRuntimeError("append() takes exactly one argument")
+    obj.append(args[0])
+    interp._check_size(len(obj))
+    return None
+
+
+def _list_pop(interp, obj, *args):
+    if len(args) > 1:
+        raise MPYRuntimeError("pop() takes at most one argument")
+    if not obj:
+        raise MPYRuntimeError("pop from empty list")
+    index = _require_int(args[0], "pop() index") if args else -1
+    if index < -len(obj) or index >= len(obj):
+        raise MPYRuntimeError("pop index out of range")
+    return obj.pop(index)
+
+
+def _list_insert(interp, obj, *args):
+    if len(args) != 2:
+        raise MPYRuntimeError("insert() takes exactly two arguments")
+    obj.insert(_require_int(args[0], "insert() index"), args[1])
+    interp._check_size(len(obj))
+    return None
+
+
+def _list_remove(interp, obj, *args):
+    if len(args) != 1:
+        raise MPYRuntimeError("remove() takes exactly one argument")
+    if args[0] not in obj:
+        raise MPYRuntimeError("list.remove(x): x not in list")
+    obj.remove(args[0])
+    return None
+
+
+def _seq_index(interp, obj, *args):
+    if len(args) != 1:
+        raise MPYRuntimeError("index() takes exactly one argument")
+    target = args[0]
+    if isinstance(obj, str):
+        if not isinstance(target, str):
+            raise MPYRuntimeError("must be str")
+        pos = obj.find(target)
+        if pos < 0:
+            raise MPYRuntimeError("substring not found")
+        return pos
+    if target not in obj:
+        raise MPYRuntimeError(f"{target!r} is not in {_type_name(obj)}")
+    return obj.index(target)
+
+
+def _seq_count(interp, obj, *args):
+    if len(args) != 1:
+        raise MPYRuntimeError("count() takes exactly one argument")
+    if isinstance(obj, str) and not isinstance(args[0], str):
+        raise MPYRuntimeError("must be str")
+    return obj.count(args[0])
+
+
+def _list_extend(interp, obj, *args):
+    if len(args) != 1:
+        raise MPYRuntimeError("extend() takes exactly one argument")
+    items = interp.iterate(args[0])
+    interp._check_size(len(obj) + len(items))
+    obj.extend(items)
+    return None
+
+
+def _list_reverse(interp, obj, *args):
+    if args:
+        raise MPYRuntimeError("reverse() takes no arguments")
+    obj.reverse()
+    return None
+
+
+def _list_sort(interp, obj, *args):
+    if args:
+        raise MPYRuntimeError("sort() takes no arguments")
+    try:
+        obj.sort()
+    except TypeError as exc:
+        raise MPYRuntimeError(str(exc)) from None
+    return None
+
+
+_LIST_METHODS = {
+    "append": _list_append,
+    "pop": _list_pop,
+    "insert": _list_insert,
+    "remove": _list_remove,
+    "index": _seq_index,
+    "count": _seq_count,
+    "extend": _list_extend,
+    "reverse": _list_reverse,
+    "sort": _list_sort,
+}
+
+
+# -- string methods ---------------------------------------------------------------
+
+
+def _str_method(name, nargs=1, argtype=str):
+    def impl(interp, obj, *args):
+        if len(args) not in (nargs if isinstance(nargs, tuple) else (nargs,)):
+            raise MPYRuntimeError(f"{name}() argument count mismatch")
+        for a in args:
+            if argtype is str and not isinstance(a, str):
+                raise MPYRuntimeError(f"{name}() arguments must be strings")
+        return getattr(obj, name)(*args)
+
+    return impl
+
+
+def _str_join(interp, obj, *args):
+    if len(args) != 1:
+        raise MPYRuntimeError("join() takes exactly one argument")
+    items = interp.iterate(args[0])
+    if not all(isinstance(i, str) for i in items):
+        raise MPYRuntimeError("join() requires an iterable of strings")
+    return obj.join(items)
+
+
+def _str_split(interp, obj, *args):
+    if len(args) > 1:
+        raise MPYRuntimeError("split() takes at most one argument")
+    if args:
+        if not isinstance(args[0], str) or not args[0]:
+            raise MPYRuntimeError("split() separator must be a non-empty string")
+        return obj.split(args[0])
+    return obj.split()
+
+
+def _str_find(interp, obj, *args):
+    if len(args) != 1 or not isinstance(args[0], str):
+        raise MPYRuntimeError("find() takes one string argument")
+    return obj.find(args[0])
+
+
+_STR_METHODS = {
+    "replace": _str_method("replace", nargs=2),
+    "upper": _str_method("upper", nargs=0),
+    "lower": _str_method("lower", nargs=0),
+    "strip": _str_method("strip", nargs=(0, 1)),
+    "startswith": _str_method("startswith", nargs=1),
+    "endswith": _str_method("endswith", nargs=1),
+    "join": _str_join,
+    "split": _str_split,
+    "find": _str_find,
+    "index": _seq_index,
+    "count": _seq_count,
+}
+
+
+# -- dict / tuple methods ---------------------------------------------------------
+
+
+def _dict_keys(interp, obj, *args):
+    if args:
+        raise MPYRuntimeError("keys() takes no arguments")
+    return list(obj.keys())
+
+
+def _dict_values(interp, obj, *args):
+    if args:
+        raise MPYRuntimeError("values() takes no arguments")
+    return list(obj.values())
+
+
+def _dict_items(interp, obj, *args):
+    if args:
+        raise MPYRuntimeError("items() takes no arguments")
+    return [(k, v) for k, v in obj.items()]
+
+
+def _dict_get(interp, obj, *args):
+    if len(args) not in (1, 2):
+        raise MPYRuntimeError("get() takes one or two arguments")
+    default = args[1] if len(args) == 2 else None
+    if isinstance(args[0], (list, dict)):
+        raise MPYRuntimeError(f"unhashable type: '{_type_name(args[0])}'")
+    return obj.get(args[0], default)
+
+
+_DICT_METHODS = {
+    "keys": _dict_keys,
+    "values": _dict_values,
+    "items": _dict_items,
+    "get": _dict_get,
+}
+
+_TUPLE_METHODS = {
+    "index": _seq_index,
+    "count": _seq_count,
+}
+
+
+def run_function(
+    module: N.Module, name: str, args: tuple, fuel: int = DEFAULT_FUEL
+) -> RunResult:
+    """Convenience wrapper: interpret ``module`` and call ``name`` on ``args``."""
+    return Interpreter(module, fuel=fuel).call(name, args)

@@ -1,0 +1,255 @@
+"""Pretty-printer from MPY back to executable Python source.
+
+Used for (a) rendering expressions inside feedback messages exactly the way
+the paper's Fig. 2 messages quote student code, and (b) differential testing
+of the interpreter against CPython (print, ``exec``, compare).
+
+The printer is a dispatch class so the M̃PY printer can subclass it and add
+rendering for choice nodes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.mpy import nodes as N
+from repro.mpy.errors import MPYError
+
+# Higher binds tighter. Mirrors Python's grammar for the supported subset.
+_PRECEDENCE = {
+    "or": 1,
+    "and": 2,
+    "not": 3,
+    "cmp": 4,
+    "+": 5,
+    "-": 5,
+    "*": 6,
+    "/": 6,
+    "//": 6,
+    "%": 6,
+    "unary": 7,
+    "**": 8,
+    "atom": 10,
+}
+
+
+class Printer:
+    """Renders MPY nodes to Python source text."""
+
+    indent_unit = "    "
+
+    def program(self, module: N.Module) -> str:
+        lines: list = []
+        for stmt in module.body:
+            self.stmt(stmt, 0, lines)
+        return "\n".join(lines) + "\n"
+
+    # -- statements --------------------------------------------------------
+
+    def stmt(self, stmt: N.Stmt, depth: int, lines: list) -> None:
+        method = getattr(self, "stmt_" + type(stmt).__name__, None)
+        if method is None:
+            raise MPYError(f"cannot print statement {type(stmt).__name__}")
+        method(stmt, depth, lines)
+
+    def _emit(self, depth: int, text: str, lines: list) -> None:
+        lines.append(self.indent_unit * depth + text)
+
+    def _block(self, body, depth: int, lines: list) -> None:
+        if not body:
+            self._emit(depth, "pass", lines)
+            return
+        for stmt in body:
+            self.stmt(stmt, depth, lines)
+
+    def stmt_FuncDef(self, stmt: N.FuncDef, depth: int, lines: list) -> None:
+        params = ", ".join(stmt.params)
+        self._emit(depth, f"def {stmt.name}({params}):", lines)
+        self._block(stmt.body, depth + 1, lines)
+
+    def stmt_Assign(self, stmt: N.Assign, depth: int, lines: list) -> None:
+        self._emit(
+            depth, f"{self.expr(stmt.target)} = {self.expr(stmt.value)}", lines
+        )
+
+    def stmt_AugAssign(self, stmt: N.AugAssign, depth: int, lines: list) -> None:
+        self._emit(
+            depth,
+            f"{self.expr(stmt.target)} {stmt.op}= {self.expr(stmt.value)}",
+            lines,
+        )
+
+    def stmt_ExprStmt(self, stmt: N.ExprStmt, depth: int, lines: list) -> None:
+        self._emit(depth, self.expr(stmt.value), lines)
+
+    def stmt_If(self, stmt: N.If, depth: int, lines: list) -> None:
+        self._emit(depth, f"if {self.expr(stmt.test)}:", lines)
+        self._block(stmt.body, depth + 1, lines)
+        orelse = stmt.orelse
+        # Render else-if chains as elif, as students write them.
+        while len(orelse) == 1 and isinstance(orelse[0], N.If):
+            nested = orelse[0]
+            self._emit(depth, f"elif {self.expr(nested.test)}:", lines)
+            self._block(nested.body, depth + 1, lines)
+            orelse = nested.orelse
+        if orelse:
+            self._emit(depth, "else:", lines)
+            self._block(orelse, depth + 1, lines)
+
+    def stmt_While(self, stmt: N.While, depth: int, lines: list) -> None:
+        self._emit(depth, f"while {self.expr(stmt.test)}:", lines)
+        self._block(stmt.body, depth + 1, lines)
+
+    def stmt_For(self, stmt: N.For, depth: int, lines: list) -> None:
+        self._emit(
+            depth,
+            f"for {self.expr(stmt.target)} in {self.expr(stmt.iter)}:",
+            lines,
+        )
+        self._block(stmt.body, depth + 1, lines)
+
+    def stmt_Return(self, stmt: N.Return, depth: int, lines: list) -> None:
+        if stmt.value is None:
+            self._emit(depth, "return", lines)
+        else:
+            self._emit(depth, f"return {self.expr(stmt.value)}", lines)
+
+    def stmt_Pass(self, stmt: N.Pass, depth: int, lines: list) -> None:
+        self._emit(depth, "pass", lines)
+
+    def stmt_Break(self, stmt: N.Break, depth: int, lines: list) -> None:
+        self._emit(depth, "break", lines)
+
+    def stmt_Continue(self, stmt: N.Continue, depth: int, lines: list) -> None:
+        self._emit(depth, "continue", lines)
+
+    # -- expressions -------------------------------------------------------
+
+    def expr(self, expr: N.Expr, parent_prec: int = 0) -> str:
+        method = getattr(self, "expr_" + type(expr).__name__, None)
+        if method is None:
+            raise MPYError(f"cannot print expression {type(expr).__name__}")
+        text, prec = method(expr)
+        if prec < parent_prec:
+            return f"({text})"
+        return text
+
+    def expr_IntLit(self, expr: N.IntLit):
+        text = str(expr.value)
+        # Negative literals parenthesize like unary minus.
+        return text, (_PRECEDENCE["unary"] if expr.value < 0 else _PRECEDENCE["atom"])
+
+    def expr_BoolLit(self, expr: N.BoolLit):
+        return ("True" if expr.value else "False"), _PRECEDENCE["atom"]
+
+    def expr_StrLit(self, expr: N.StrLit):
+        return repr(expr.value), _PRECEDENCE["atom"]
+
+    def expr_NoneLit(self, expr: N.NoneLit):
+        return "None", _PRECEDENCE["atom"]
+
+    def expr_Var(self, expr: N.Var):
+        return expr.name, _PRECEDENCE["atom"]
+
+    def expr_ListLit(self, expr: N.ListLit):
+        inner = ", ".join(self.expr(e) for e in expr.elts)
+        return f"[{inner}]", _PRECEDENCE["atom"]
+
+    def expr_TupleLit(self, expr: N.TupleLit):
+        if len(expr.elts) == 1:
+            return f"({self.expr(expr.elts[0])},)", _PRECEDENCE["atom"]
+        inner = ", ".join(self.expr(e) for e in expr.elts)
+        return f"({inner})", _PRECEDENCE["atom"]
+
+    def expr_DictLit(self, expr: N.DictLit):
+        inner = ", ".join(
+            f"{self.expr(k)}: {self.expr(v)}"
+            for k, v in zip(expr.keys, expr.values)
+        )
+        return "{" + inner + "}", _PRECEDENCE["atom"]
+
+    def expr_BinOp(self, expr: N.BinOp):
+        prec = _PRECEDENCE[expr.op]
+        if expr.op == "**":
+            # ** is right-associative.
+            left = self.expr(expr.left, prec + 1)
+            right = self.expr(expr.right, prec)
+        else:
+            left = self.expr(expr.left, prec)
+            right = self.expr(expr.right, prec + 1)
+        return f"{left} {expr.op} {right}", prec
+
+    def expr_UnaryOp(self, expr: N.UnaryOp):
+        if expr.op == "not":
+            prec = _PRECEDENCE["not"]
+            return f"not {self.expr(expr.operand, prec)}", prec
+        prec = _PRECEDENCE["unary"]
+        return f"{expr.op}{self.expr(expr.operand, prec)}", prec
+
+    def expr_Compare(self, expr: N.Compare):
+        prec = _PRECEDENCE["cmp"]
+        left = self.expr(expr.left, prec + 1)
+        right = self.expr(expr.right, prec + 1)
+        return f"{left} {expr.op} {right}", prec
+
+    def expr_BoolOp(self, expr: N.BoolOp):
+        prec = _PRECEDENCE[expr.op]
+        left = self.expr(expr.left, prec)
+        right = self.expr(expr.right, prec + 1)
+        return f"{left} {expr.op} {right}", prec
+
+    def expr_Index(self, expr: N.Index):
+        obj = self.expr(expr.obj, _PRECEDENCE["atom"])
+        return f"{obj}[{self.expr(expr.index)}]", _PRECEDENCE["atom"]
+
+    def expr_Slice(self, expr: N.Slice):
+        obj = self.expr(expr.obj, _PRECEDENCE["atom"])
+        lower = self.expr(expr.lower) if expr.lower is not None else ""
+        upper = self.expr(expr.upper) if expr.upper is not None else ""
+        if expr.step is not None:
+            return (
+                f"{obj}[{lower}:{upper}:{self.expr(expr.step)}]",
+                _PRECEDENCE["atom"],
+            )
+        return f"{obj}[{lower}:{upper}]", _PRECEDENCE["atom"]
+
+    def expr_Attribute(self, expr: N.Attribute):
+        obj = self.expr(expr.obj, _PRECEDENCE["atom"])
+        return f"{obj}.{expr.attr}", _PRECEDENCE["atom"]
+
+    def expr_Call(self, expr: N.Call):
+        func = self.expr(expr.func, _PRECEDENCE["atom"])
+        args = ", ".join(self.expr(a) for a in expr.args)
+        return f"{func}({args})", _PRECEDENCE["atom"]
+
+    def expr_IfExp(self, expr: N.IfExp):
+        body = self.expr(expr.body, 1)
+        test = self.expr(expr.test, 1)
+        orelse = self.expr(expr.orelse, 0)
+        return f"{body} if {test} else {orelse}", 0
+
+    def expr_ListComp(self, expr: N.ListComp):
+        parts = [
+            self.expr(expr.elt),
+            f"for {self.expr(expr.target)} in {self.expr(expr.iter, 1)}",
+        ]
+        parts.extend(f"if {self.expr(c, 1)}" for c in expr.conds)
+        return "[" + " ".join(parts) + "]", _PRECEDENCE["atom"]
+
+    def expr_Lambda(self, expr: N.Lambda):
+        params = ", ".join(expr.params)
+        return f"lambda {params}: {self.expr(expr.body)}", 0
+
+
+_DEFAULT = Printer()
+
+
+def to_source(node) -> str:
+    """Render an MPY module/statement/expression to Python source text."""
+    if isinstance(node, N.Module):
+        return _DEFAULT.program(node)
+    if isinstance(node, N.Stmt):
+        lines: list = []
+        _DEFAULT.stmt(node, 0, lines)
+        return "\n".join(lines)
+    return _DEFAULT.expr(node)

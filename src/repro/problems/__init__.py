@@ -1,0 +1,19 @@
+"""Benchmark problems from the paper's evaluation (Table 1)."""
+
+from repro.problems.registry import (
+    PAPER_BOUNDS,
+    Problem,
+    Table1Row,
+    all_problems,
+    get_problem,
+    python_problems,
+)
+
+__all__ = [
+    "Problem",
+    "Table1Row",
+    "get_problem",
+    "all_problems",
+    "python_problems",
+    "PAPER_BOUNDS",
+]

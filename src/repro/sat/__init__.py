@@ -1,0 +1,19 @@
+"""A CDCL SAT solver with incremental assumptions — SKETCH's backend stand-in.
+
+The paper runs its synthesis through the SKETCH system, whose core is a
+SAT-based CEGIS loop. No external solver is available offline, so this
+package implements the substrate from scratch:
+
+- :mod:`repro.sat.solver` — conflict-driven clause learning with two-watched
+  literals, VSIDS-style activities, Luby restarts, first-UIP learning and
+  MiniSat-style assumption handling (the hook CEGISMIN needs for its
+  incremental ``minHole < minHoleVal`` constraints);
+- :mod:`repro.sat.cardinality` — a sequential-counter (Sinz) encoding whose
+  monotone count outputs let the CEGISMIN loop tighten the cost bound with
+  a single assumption literal per iteration.
+"""
+
+from repro.sat.solver import SAT, UNSAT, Solver
+from repro.sat.cardinality import CountingNetwork
+
+__all__ = ["Solver", "SAT", "UNSAT", "CountingNetwork"]

@@ -1,0 +1,57 @@
+"""Sequential-counter cardinality encoding (Sinz 2005) with monotone outputs.
+
+:class:`CountingNetwork` encodes, for inputs ``x_1..x_n``, output variables
+``o_j`` ("at least j inputs are true", 1-indexed) such that the clause set
+*forces* ``o_j`` true whenever j inputs are true. The CEGISMIN loop then
+tightens the correction-cost bound incrementally by assuming ``-o_{c}``
+("fewer than c corrections"), exactly the role of the paper's
+``minHole < minHoleVal`` constraint (Algorithm 1, line 13) — no re-encoding
+between iterations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.sat.solver import Solver
+
+
+class CountingNetwork:
+    """Unary counter over a fixed set of input literals."""
+
+    def __init__(self, solver: Solver, inputs: Sequence[int]):
+        self.solver = solver
+        self.inputs = list(inputs)
+        n = len(self.inputs)
+        self.outputs: List[int] = []
+        if n == 0:
+            return
+        # registers[i][j] = "at least j+1 of the first i+1 inputs are true"
+        previous: List[int] = []
+        for i, x in enumerate(self.inputs):
+            current = [solver.new_var() for _ in range(i + 1)]
+            # x_i -> s_{i,1}
+            solver.add_clause([-x, current[0]])
+            for j in range(len(previous)):
+                # s_{i-1,j} -> s_{i,j}
+                solver.add_clause([-previous[j], current[j]])
+                # x_i & s_{i-1,j} -> s_{i,j+1}
+                solver.add_clause([-x, -previous[j], current[j + 1]])
+            previous = current
+        self.outputs = previous
+
+    def at_least(self, count: int) -> int:
+        """Literal that is forced true when ≥ ``count`` inputs are true."""
+        if count < 1 or count > len(self.inputs):
+            raise ValueError(f"count {count} out of range")
+        return self.outputs[count - 1]
+
+    def bound_assumption(self, max_true: int) -> List[int]:
+        """Assumption literals enforcing "at most ``max_true`` inputs true"."""
+        if max_true >= len(self.inputs):
+            return []
+        return [-self.at_least(max_true + 1)]
+
+    def count_true(self, model_value) -> int:
+        """Count true inputs under a model (callable literal → bool)."""
+        return sum(1 for x in self.inputs if model_value(x))

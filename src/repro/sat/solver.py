@@ -1,0 +1,363 @@
+"""A compact CDCL SAT solver.
+
+Literal convention: variables are positive integers 1..n; a literal is
+``+v`` or ``-v``. The solver is incremental: clauses may be added between
+:meth:`Solver.solve` calls, and each call takes a list of assumption
+literals that hold for that call only (MiniSat semantics).
+
+Implemented techniques:
+
+- two-watched-literal propagation,
+- first-UIP conflict analysis with learned-clause minimization (self-
+  subsumption against the reason graph),
+- VSIDS-style exponential variable activities with rescaling,
+- Luby-sequence restarts,
+- phase saving with caller-settable preferred polarities (the synthesis
+  encoding biases correction holes toward their zero-cost defaults).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+SAT = "sat"
+UNSAT = "unsat"
+
+_RESCALE_LIMIT = 1e100
+_RESCALE_FACTOR = 1e-100
+
+
+def luby(i: int) -> int:
+    """The reluctant-doubling sequence 1 1 2 1 1 2 4 ... (1-indexed)."""
+    x = i - 1
+    size, seq = 1, 0
+    while size < x + 1:
+        seq += 1
+        size = 2 * size + 1
+    while size - 1 != x:
+        size = (size - 1) // 2
+        seq -= 1
+        x = x % size
+    return 1 << seq
+
+
+class Solver:
+    """Incremental CDCL solver over integer literals."""
+
+    def __init__(self, restart_base: int = 64, decay: float = 0.95):
+        self.num_vars = 0
+        self.clauses: List[List[int]] = []
+        self.learned: List[List[int]] = []
+        self.watches: Dict[int, List[List[int]]] = {}
+        self.assign: List[int] = [0]  # 1-indexed: 0 unassigned, ±1 value
+        self.level: List[int] = [0]
+        self.reason: List[Optional[List[int]]] = [None]
+        self.activity: List[float] = [0.0]
+        self.phase: List[bool] = [False]
+        self.trail: List[int] = []
+        self.trail_lim: List[int] = []
+        self.prop_head = 0
+        self.restart_base = restart_base
+        self.decay = decay
+        self.var_inc = 1.0
+        self.stats = {
+            "decisions": 0,
+            "propagations": 0,
+            "conflicts": 0,
+            "restarts": 0,
+            "learned": 0,
+        }
+        self._unsat = False
+
+    # -- variable / clause management ---------------------------------------
+
+    def new_var(self, preferred: bool = False) -> int:
+        self.num_vars += 1
+        self.assign.append(0)
+        self.level.append(0)
+        self.reason.append(None)
+        self.activity.append(0.0)
+        self.phase.append(preferred)
+        return self.num_vars
+
+    def set_preferred(self, var: int, value: bool) -> None:
+        """Bias the decision phase of ``var`` toward ``value``."""
+        self.phase[var] = value
+
+    def _ensure_vars(self, lits: Iterable[int]) -> None:
+        highest = max((abs(l) for l in lits), default=0)
+        while self.num_vars < highest:
+            self.new_var()
+
+    def add_clause(self, lits: Sequence[int]) -> bool:
+        """Add a clause; returns False if the formula is now trivially UNSAT.
+
+        Must be called at decision level 0 (between solve calls).
+        """
+        self._cancel_until(0)
+        self._ensure_vars(lits)
+        seen = set()
+        clause: List[int] = []
+        for lit in lits:
+            if -lit in seen:
+                return True  # tautology
+            if lit in seen:
+                continue
+            value = self._value(lit)
+            if value == 1 and self.level[abs(lit)] == 0:
+                return True  # already satisfied at root
+            if value == -1 and self.level[abs(lit)] == 0:
+                continue  # falsified at root: drop literal
+            seen.add(lit)
+            clause.append(lit)
+        if not clause:
+            self._unsat = True
+            return False
+        if len(clause) == 1:
+            if not self._enqueue(clause[0], None):
+                self._unsat = True
+                return False
+            conflict = self._propagate()
+            if conflict is not None:
+                self._unsat = True
+                return False
+            return True
+        self.clauses.append(clause)
+        self._watch(clause)
+        return True
+
+    def _watch(self, clause: List[int]) -> None:
+        self.watches.setdefault(-clause[0], []).append(clause)
+        self.watches.setdefault(-clause[1], []).append(clause)
+
+    # -- assignment ------------------------------------------------------------
+
+    def _value(self, lit: int) -> int:
+        value = self.assign[abs(lit)]
+        if value == 0:
+            return 0
+        return value if lit > 0 else -value
+
+    def _enqueue(self, lit: int, reason: Optional[List[int]]) -> bool:
+        value = self._value(lit)
+        if value == 1:
+            return True
+        if value == -1:
+            return False
+        var = abs(lit)
+        self.assign[var] = 1 if lit > 0 else -1
+        self.level[var] = len(self.trail_lim)
+        self.reason[var] = reason
+        self.trail.append(lit)
+        return True
+
+    def _propagate(self) -> Optional[List[int]]:
+        """Unit propagation; returns a conflicting clause or None."""
+        while self.prop_head < len(self.trail):
+            lit = self.trail[self.prop_head]
+            self.prop_head += 1
+            self.stats["propagations"] += 1
+            watchers = self.watches.get(lit)
+            if not watchers:
+                continue
+            new_watchers: List[List[int]] = []
+            index = 0
+            while index < len(watchers):
+                clause = watchers[index]
+                index += 1
+                # Normalize: watched literals are clause[0], clause[1].
+                if clause[0] == -lit:
+                    clause[0], clause[1] = clause[1], clause[0]
+                first = clause[0]
+                if self._value(first) == 1:
+                    new_watchers.append(clause)
+                    continue
+                # Find a new literal to watch.
+                found = False
+                for k in range(2, len(clause)):
+                    if self._value(clause[k]) != -1:
+                        clause[1], clause[k] = clause[k], clause[1]
+                        self.watches.setdefault(-clause[1], []).append(clause)
+                        found = True
+                        break
+                if found:
+                    continue
+                new_watchers.append(clause)
+                if not self._enqueue(first, clause):
+                    # Conflict: restore remaining watchers and report.
+                    new_watchers.extend(watchers[index:])
+                    self.watches[lit] = new_watchers
+                    return clause
+            self.watches[lit] = new_watchers
+        return None
+
+    # -- conflict analysis -------------------------------------------------------
+
+    def _bump(self, var: int) -> None:
+        self.activity[var] += self.var_inc
+        if self.activity[var] > _RESCALE_LIMIT:
+            for v in range(1, self.num_vars + 1):
+                self.activity[v] *= _RESCALE_FACTOR
+            self.var_inc *= _RESCALE_FACTOR
+
+    def _analyze(self, conflict: List[int]) -> tuple:
+        """First-UIP learning; returns (learned clause, backjump level)."""
+        current_level = len(self.trail_lim)
+        seen = [False] * (self.num_vars + 1)
+        learned: List[int] = [0]  # placeholder for the asserting literal
+        counter = 0
+        lit = None
+        reason: Optional[List[int]] = conflict
+        index = len(self.trail) - 1
+        while True:
+            assert reason is not None
+            for q in reason:
+                if lit is not None and q == lit:
+                    continue
+                var = abs(q)
+                if not seen[var] and self.level[var] > 0:
+                    seen[var] = True
+                    self._bump(var)
+                    if self.level[var] == current_level:
+                        counter += 1
+                    else:
+                        learned.append(q)
+            while not seen[abs(self.trail[index])]:
+                index -= 1
+            lit = self.trail[index]
+            var = abs(lit)
+            seen[var] = False
+            index -= 1
+            counter -= 1
+            if counter == 0:
+                learned[0] = -lit
+                break
+            reason = self.reason[var]
+        # Clause minimization: drop literals implied by the rest.
+        learned = self._minimize(learned, seen)
+        if len(learned) == 1:
+            return learned, 0
+        # Backjump level: second-highest level in the clause.
+        levels = sorted((self.level[abs(q)] for q in learned[1:]), reverse=True)
+        back = levels[0]
+        # Move a literal of the backjump level into watch position 1.
+        for k in range(1, len(learned)):
+            if self.level[abs(learned[k])] == back:
+                learned[1], learned[k] = learned[k], learned[1]
+                break
+        return learned, back
+
+    def _minimize(self, learned: List[int], seen: List[bool]) -> List[int]:
+        marked = set(abs(q) for q in learned)
+        kept = [learned[0]]
+        for q in learned[1:]:
+            reason = self.reason[abs(q)]
+            if reason is None:
+                kept.append(q)
+                continue
+            if all(
+                abs(r) in marked or self.level[abs(r)] == 0
+                for r in reason
+                if r != -q
+            ):
+                continue  # dominated: implied by the others
+            kept.append(q)
+        return kept
+
+    # -- backtracking ----------------------------------------------------------------
+
+    def _cancel_until(self, target_level: int) -> None:
+        if len(self.trail_lim) <= target_level:
+            return
+        limit = self.trail_lim[target_level]
+        for lit in reversed(self.trail[limit:]):
+            var = abs(lit)
+            self.phase[var] = lit > 0  # phase saving
+            self.assign[var] = 0
+            self.reason[var] = None
+        del self.trail[limit:]
+        del self.trail_lim[target_level:]
+        self.prop_head = min(self.prop_head, len(self.trail))
+
+    # -- main loop ---------------------------------------------------------------------
+
+    def solve(self, assumptions: Sequence[int] = ()) -> str:
+        """Solve under assumptions; returns SAT or UNSAT.
+
+        On SAT, :meth:`model_value` reads the satisfying assignment (valid
+        until the next :meth:`add_clause` or :meth:`solve` call).
+        """
+        if self._unsat:
+            return UNSAT
+        self._cancel_until(0)
+        self._ensure_vars(assumptions)
+        conflict_budget = self.restart_base * luby(self.stats["restarts"] + 1)
+        while True:
+            conflict = self._propagate()
+            if conflict is not None:
+                self.stats["conflicts"] += 1
+                if not self.trail_lim:
+                    self._unsat = True
+                    return UNSAT
+                learned, back_level = self._analyze(conflict)
+                self._cancel_until(back_level)
+                if len(learned) > 1:
+                    self.learned.append(learned)
+                    self._watch(learned)
+                    self.stats["learned"] += 1
+                self._enqueue(
+                    learned[0], learned if len(learned) > 1 else None
+                )
+                self.var_inc /= self.decay
+                conflict_budget -= 1
+                if conflict_budget <= 0:
+                    self.stats["restarts"] += 1
+                    self._cancel_until(0)
+                    conflict_budget = self.restart_base * luby(
+                        self.stats["restarts"] + 1
+                    )
+                continue
+            # No conflict: satisfy assumptions first (MiniSat-style: one
+            # decision level per assumption), then branch heuristically.
+            if len(self.trail_lim) < len(assumptions):
+                lit = assumptions[len(self.trail_lim)]
+                value = self._value(lit)
+                if value == 1:
+                    self.trail_lim.append(len(self.trail))  # dummy level
+                    continue
+                if value == -1:
+                    self._cancel_until(0)
+                    return UNSAT  # conflicting assumptions
+                self.trail_lim.append(len(self.trail))
+                self._enqueue(lit, None)
+                continue
+            var = self._pick_branch_var()
+            if var is None:
+                return SAT  # complete assignment
+            self.stats["decisions"] += 1
+            lit = var if self.phase[var] else -var
+            self.trail_lim.append(len(self.trail))
+            self._enqueue(lit, None)
+
+    def _pick_branch_var(self) -> Optional[int]:
+        best = None
+        best_activity = -1.0
+        for var in range(1, self.num_vars + 1):
+            if self.assign[var] == 0 and self.activity[var] > best_activity:
+                best = var
+                best_activity = self.activity[var]
+        return best
+
+    # -- model access ------------------------------------------------------------
+
+    def model_value(self, lit: int) -> bool:
+        value = self._value(lit)
+        if value == 0:
+            # Unconstrained variable: report its saved phase.
+            return self.phase[abs(lit)] if lit > 0 else not self.phase[abs(lit)]
+        return value == 1
+
+    def model(self) -> Dict[int, bool]:
+        return {
+            var: self.model_value(var) for var in range(1, self.num_vars + 1)
+        }

@@ -1,0 +1,29 @@
+"""Synthetic student-submission corpora.
+
+The paper evaluates on thousands of real 6.00/6.00x submissions, which are
+proprietary. This package generates per-problem corpora with the same
+structure (DESIGN.md, substitution 2):
+
+- *mutated* attempts: inverse correction-rule applications over several
+  algorithmically distinct correct solutions — the paper's observation
+  that "errors tend to follow predictable patterns" run in reverse;
+- *conceptual* attempts: the Section 5.3 "big conceptual errors"
+  (Fig. 13's ``list.index`` misuse and inverted ``replace``), which local
+  correction rules cannot fix;
+- *trivial* attempts: empty or print-only submissions;
+- *syntactic* attempts: submissions with syntax errors (Table 1 removes
+  these before the test set).
+
+Generation is seeded and deterministic.
+"""
+
+from repro.studentgen.corpus import Corpus, Submission, generate_corpus
+from repro.studentgen.mutator import enumerate_mutations, mutate
+
+__all__ = [
+    "Corpus",
+    "Submission",
+    "generate_corpus",
+    "enumerate_mutations",
+    "mutate",
+]

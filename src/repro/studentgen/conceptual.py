@@ -1,0 +1,149 @@
+"""Big-conceptual-error submissions (paper Section 5.3 and Fig. 13).
+
+These are wrong at the algorithm level: no combination of local correction
+rules fixes them, so the tool is expected to report no-fix — they populate
+the unfixable share of each Table 1 row.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+CONCEPTUAL: Dict[str, List[str]] = {
+    "compDeriv": [
+        # accumulates a sum instead of building a list
+        """def computeDeriv(poly):
+    total = 0
+    for i in range(len(poly)):
+        total += i * poly[i]
+    return total
+""",
+        # reverses the polynomial instead of differentiating
+        """def computeDeriv(poly):
+    deriv = []
+    for c in poly:
+        deriv = [c] + deriv
+    return deriv
+""",
+    ],
+    "evalPoly": [
+        # paper Fig. 13(a): uses list.index, wrong on repeated coefficients
+        """def evaluatePoly(poly, x):
+    result = 0
+    for i in list(poly):
+        result += i * x ** poly.index(i)
+    return result
+""",
+        # ignores x entirely
+        """def evaluatePoly(poly, x):
+    result = 0
+    for c in poly:
+        result += c
+    return result
+""",
+    ],
+    "oddTuples": [
+        # returns the odd-indexed elements instead of even-indexed
+        """def oddTuples(aTup):
+    out = ()
+    for x in aTup:
+        if x % 2 == 1:
+            out += (x,)
+    return out
+""",
+    ],
+    "prodBySum": [
+        """def prodBySum(m, n):
+    return m + n
+""",
+    ],
+    "compBal": [
+        """def compBal(price, rate):
+    print(price // 12)
+""",
+    ],
+    "iterPower": [
+        # multiplies base by the loop counter
+        """def iterPower(base, exp):
+    result = 1
+    for i in range(exp):
+        result = result * i
+    return result
+""",
+    ],
+    "recurPower": [
+        # recursion never terminates toward the base case
+        """def recurPower(base, exp):
+    if exp == 0:
+        return 1
+    return base * recurPower(base, exp)
+""",
+    ],
+    "iterGCD": [
+        # returns the smaller argument, not the gcd
+        """def iterGCD(a, b):
+    if a < b:
+        return a
+    return b
+""",
+    ],
+    "hangman1": [
+        # checks the guesses against the word instead of the reverse
+        """def isWordGuessed(secretWord, lettersGuessed):
+    for letter in lettersGuessed:
+        if letter not in secretWord:
+            return False
+    return True
+""",
+    ],
+    "hangman2": [
+        # paper Fig. 13(b): replaces guessed letters with '_'
+        """def getGuessedWord(secretWord, lettersGuessed):
+    for letter in lettersGuessed:
+        secretWord = secretWord.replace(letter, "_")
+    return secretWord
+""",
+    ],
+    "stockMarket1": [
+        # compares against the first day only
+        """def isStable(prices):
+    for p in prices:
+        if abs(p - prices[0]) > 3:
+            return False
+    return True
+""",
+    ],
+    "stockMarket2": [
+        # ignores the window entirely
+        """def isCalm(prices, start, end):
+    return max(prices) - min(prices) < 5
+""",
+    ],
+    "restaurantRush": [
+        # sums only the positive entries (not contiguous)
+        """def maxRush(revenue):
+    best = 0
+    for r in revenue:
+        if r > 0:
+            best += r
+    return best
+""",
+    ],
+}
+
+#: Trivial/empty attempts ("many student attempts that were empty or
+#: performing trivial computations", Section 5.3). ``{fn}`` and
+#: ``{params}`` are substituted per problem.
+TRIVIAL_TEMPLATES = [
+    "def {fn}({params}):\n    return\n",
+    "def {fn}({params}):\n    return 0\n",
+    "def {fn}({params}):\n    print(\"hello\")\n",
+    "def {fn}({params}):\n    pass\n",
+]
+
+#: Syntax-error attempts (removed before the paper's test set).
+SYNTAX_ERROR_TEMPLATES = [
+    "def {fn}({params}:\n    return 0\n",
+    "def {fn}({params})\n    return 0\n",
+    "def {fn}({params}):\nreturn 0\n",
+]

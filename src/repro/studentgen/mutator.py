@@ -1,0 +1,240 @@
+"""AST mutations: the inverse image of correction rules.
+
+Students' predictable mistakes (Section 1: "everyone is solving the same
+problem after having attended the same lectures") are modeled by running
+the correction-rule catalog *backwards*: each mutation below is undone by
+one application of a typical EML rule — plus a few mutations deliberately
+outside any rule's reach (statement deletion, arbitrary variable swaps), so
+the generated corpora include submissions the tool cannot fix, like the
+real test sets do.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Iterator, List, Optional, Tuple
+
+from repro.mpy import nodes as N
+
+#: Realistic operator-confusion table for comparisons.
+_COMPARE_CONFUSIONS = {
+    "<": ("<=", ">"),
+    "<=": ("<", ">="),
+    ">": (">=", "<"),
+    ">=": (">", "!="),
+    "==": ("!=", ">="),
+    "!=": ("==",),
+    "in": ("not in",),
+    "not in": ("in",),
+}
+
+#: Arithmetic operator confusions (e.g. iterPower's ``+=`` for ``*=``).
+_ARITH_CONFUSIONS = {
+    "+": ("-", "*"),
+    "-": ("+",),
+    "*": ("+", "**"),
+    "**": ("*",),
+    "//": ("/", "%"),
+    "%": ("//",),
+    "/": ("//",),
+}
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """A single localized defect to inject."""
+
+    kind: str
+    description: str
+    build: Callable[[], N.Module]
+
+    def apply(self) -> N.Module:
+        return self.build()
+
+
+def _substitute(root: N.Node, old: N.Node, new: N.Node) -> N.Node:
+    """Rebuild ``root`` with the node ``old`` (by identity) replaced."""
+    if root is old:
+        return new
+    return N.map_children(root, lambda child: _substitute(child, old, new))
+
+
+def _scope_names(module: N.Module) -> List[str]:
+    names: List[str] = []
+    for stmt in module.body:
+        if isinstance(stmt, N.FuncDef):
+            names.extend(stmt.params)
+            for node in N.Module(body=stmt.body).walk():
+                if isinstance(node, (N.Assign, N.For)) and isinstance(
+                    getattr(node, "target", None), N.Var
+                ):
+                    if node.target.name not in names:
+                        names.append(node.target.name)
+    return names
+
+
+def enumerate_mutations(module: N.Module) -> List[Mutation]:
+    """Every applicable single mutation of ``module``."""
+    mutations: List[Mutation] = []
+    names = _scope_names(module)
+
+    def sub(kind: str, description: str, old: N.Node, new: N.Node) -> None:
+        mutations.append(
+            Mutation(
+                kind=kind,
+                description=description,
+                build=lambda: _substitute(module, old, new),  # type: ignore[return-value]
+            )
+        )
+
+    for node in module.walk():
+        if isinstance(node, N.IntLit):
+            for delta in (1, -1):
+                sub(
+                    "int-literal",
+                    f"{node.value} -> {node.value + delta}",
+                    node,
+                    N.IntLit(node.value + delta, line=node.line),
+                )
+            if node.value != 0:
+                sub("int-literal", f"{node.value} -> 0", node, N.IntLit(0))
+        elif isinstance(node, N.Compare):
+            for op in _COMPARE_CONFUSIONS.get(node.op, ()):
+                sub(
+                    "compare-op",
+                    f"{node.op} -> {op}",
+                    node,
+                    N.Compare(op=op, left=node.left, right=node.right,
+                              line=node.line),
+                )
+        elif isinstance(node, N.BinOp):
+            for op in _ARITH_CONFUSIONS.get(node.op, ()):
+                sub(
+                    "arith-op",
+                    f"{node.op} -> {op}",
+                    node,
+                    N.BinOp(op=op, left=node.left, right=node.right,
+                            line=node.line),
+                )
+        elif isinstance(node, N.AugAssign):
+            for op in _ARITH_CONFUSIONS.get(node.op, ()):
+                sub(
+                    "aug-op",
+                    f"{node.op}= -> {op}=",
+                    node,
+                    N.AugAssign(target=node.target, op=op, value=node.value,
+                                line=node.line),
+                )
+        elif isinstance(node, N.Index):
+            index = node.index
+            for delta in (1, -1):
+                sub(
+                    "index-shift",
+                    f"index {delta:+d}",
+                    node,
+                    N.Index(
+                        obj=node.obj,
+                        index=N.BinOp(
+                            op="+" if delta > 0 else "-",
+                            left=index,
+                            right=N.IntLit(abs(delta)),
+                        ),
+                        line=node.line,
+                    ),
+                )
+        elif isinstance(node, N.Slice):
+            if node.lower is not None:
+                sub(
+                    "slice-bound",
+                    "drop slice lower bound",
+                    node,
+                    N.Slice(obj=node.obj, lower=None, upper=node.upper,
+                            step=node.step, line=node.line),
+                )
+        elif isinstance(node, N.Call) and isinstance(node.func, N.Var):
+            if node.func.name == "range" and len(node.args) == 2:
+                sub(
+                    "range-args",
+                    "drop range start",
+                    node,
+                    N.Call(func=node.func, args=(node.args[1],),
+                           line=node.line),
+                )
+        elif isinstance(node, N.Var) and node.name in names:
+            for other in names:
+                if other != node.name:
+                    sub(
+                        "var-swap",
+                        f"{node.name} -> {other}",
+                        node,
+                        N.Var(name=other, line=node.line),
+                    )
+                    break  # one swap target per site keeps the pool bounded
+
+    # Statement-level mutations.
+    for stmt in module.walk():
+        if isinstance(stmt, N.If) and not stmt.orelse:
+            sub("drop-guard", "delete guarded block", stmt, N.Pass(line=stmt.line))
+        elif isinstance(stmt, N.Return) and stmt.value is not None:
+            if not isinstance(stmt.value, N.Var) and names:
+                sub(
+                    "return-swap",
+                    f"return {names[0]}",
+                    stmt,
+                    N.Return(value=N.Var(names[0]), line=stmt.line),
+                )
+    return mutations
+
+
+#: How often each defect kind appears in student code, relative weights.
+#: Arithmetic/comparison/off-by-one mistakes dominate; wholesale variable
+#: mix-ups and deleted statements are rarer (and often conceptually wrong).
+KIND_WEIGHTS = {
+    "int-literal": 3.0,
+    "compare-op": 3.0,
+    "arith-op": 2.0,
+    "aug-op": 2.0,
+    "index-shift": 2.0,
+    "range-args": 1.5,
+    "var-swap": 1.0,
+    "drop-guard": 1.0,
+    "return-swap": 0.8,
+    "slice-bound": 0.5,
+}
+
+
+def _pick_weighted(pool: List[Mutation], rng: random.Random) -> Mutation:
+    by_kind: dict = {}
+    for mutation in pool:
+        by_kind.setdefault(mutation.kind, []).append(mutation)
+    kinds = sorted(by_kind)
+    weights = [KIND_WEIGHTS.get(kind, 1.0) for kind in kinds]
+    kind = rng.choices(kinds, weights=weights, k=1)[0]
+    return rng.choice(by_kind[kind])
+
+
+def mutate(
+    module: N.Module,
+    rng: random.Random,
+    count: int = 1,
+    kinds: Optional[Tuple[str, ...]] = None,
+) -> Tuple[N.Module, List[str]]:
+    """Apply ``count`` randomly chosen mutations in sequence.
+
+    Kinds are drawn by :data:`KIND_WEIGHTS` (then uniformly within the
+    kind), so the defect mix resembles a student population rather than
+    being dominated by whichever kind has the most syntactic sites.
+    """
+    descriptions: List[str] = []
+    current = module
+    for _ in range(count):
+        pool = enumerate_mutations(current)
+        if kinds is not None:
+            pool = [m for m in pool if m.kind in kinds]
+        if not pool:
+            break
+        mutation = _pick_weighted(pool, rng)
+        current = mutation.apply()
+        descriptions.append(f"{mutation.kind}: {mutation.description}")
+    return current, descriptions

@@ -1,0 +1,266 @@
+"""Alternative correct solutions per problem.
+
+Real students solve the same problem with very different algorithms
+(paper Fig. 2 shows three for computeDeriv alone). Mutating several
+distinct correct solutions reproduces that diversity in the corpus.
+Every variant here must be verified-equivalent to the reference; the
+test suite checks that.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+VARIANTS: Dict[str, List[str]] = {
+    "compDeriv": [
+        # while-loop with explicit index (the Fig. 2(c) family)
+        """def computeDeriv(poly):
+    if len(poly) == 1:
+        return [0]
+    deriv = []
+    i = 1
+    while i < len(poly):
+        deriv.append(poly[i] * i)
+        i += 1
+    return deriv
+""",
+        # comprehension style
+        """def computeDeriv(poly):
+    if len(poly) == 1:
+        return [0]
+    return [poly[i] * i for i in range(1, len(poly))]
+""",
+        # build-then-slice (the reference's own shape)
+        """def computeDeriv(poly):
+    result = []
+    for i in range(len(poly)):
+        result = result + [i * poly[i]]
+    if len(poly) == 1:
+        return result
+    return result[1:]
+""",
+    ],
+    "evalPoly": [
+        """def evaluatePoly(poly, x):
+    total = 0
+    for i in range(len(poly)):
+        total += poly[i] * x ** i
+    return total
+""",
+        """def evaluatePoly(poly, x):
+    total = 0
+    power = 1
+    for coeff in poly:
+        total += coeff * power
+        power = power * x
+    return total
+""",
+    ],
+    "oddTuples": [
+        """def oddTuples(aTup):
+    out = ()
+    for i in range(0, len(aTup), 2):
+        out += (aTup[i],)
+    return out
+""",
+        """def oddTuples(aTup):
+    return aTup[::2]
+""",
+        """def oddTuples(aTup):
+    out = ()
+    i = 0
+    while i < len(aTup):
+        if i % 2 == 0:
+            out = out + (aTup[i],)
+        i += 1
+    return out
+""",
+    ],
+    "prodBySum": [
+        """def prodBySum(m, n):
+    result = 0
+    count = 0
+    while count < abs(n):
+        result += m
+        count += 1
+    if n < 0:
+        return -result
+    return result
+""",
+        """def prodBySum(m, n):
+    total = 0
+    for i in range(abs(n)):
+        total += m
+    if n < 0:
+        total = -total
+    return total
+""",
+    ],
+    "iterPower": [
+        """def iterPower(base, exp):
+    result = 1
+    for i in range(exp):
+        result = result * base
+    return result
+""",
+        """def iterPower(base, exp):
+    result = 1
+    while exp > 0:
+        result *= base
+        exp -= 1
+    return result
+""",
+    ],
+    "recurPower": [
+        """def recurPower(base, exp):
+    if exp == 0:
+        return 1
+    return base * recurPower(base, exp - 1)
+""",
+        """def recurPower(base, exp):
+    if exp <= 0:
+        return 1
+    else:
+        return base * recurPower(base, exp - 1)
+""",
+    ],
+    "iterGCD": [
+        """def iterGCD(a, b):
+    while b != 0:
+        temp = a % b
+        a = b
+        b = temp
+    return a
+""",
+        """def iterGCD(a, b):
+    while b > 0:
+        a, b = b, a % b
+    return a
+""",
+    ],
+    "hangman1": [
+        """def isWordGuessed(secretWord, lettersGuessed):
+    for letter in secretWord:
+        if letter not in lettersGuessed:
+            return False
+    return True
+""",
+        """def isWordGuessed(secretWord, lettersGuessed):
+    found = 0
+    for letter in secretWord:
+        if letter in lettersGuessed:
+            found += 1
+    return found == len(secretWord)
+""",
+    ],
+    "hangman2": [
+        """def getGuessedWord(secretWord, lettersGuessed):
+    guessed = ""
+    for letter in secretWord:
+        if letter in lettersGuessed:
+            guessed = guessed + letter
+        else:
+            guessed = guessed + "_"
+    return guessed
+""",
+        """def getGuessedWord(secretWord, lettersGuessed):
+    out = []
+    for letter in secretWord:
+        if letter in lettersGuessed:
+            out.append(letter)
+        else:
+            out.append("_")
+    return "".join(out)
+""",
+    ],
+    "compBal": [
+        """def compBal(price, rate):
+    total = price + price * rate // 100
+    payment = total // 12
+    extra = total % 12
+    for month in range(1, 13):
+        if month <= extra:
+            print(month, payment + 1)
+        else:
+            print(month, payment)
+""",
+    ],
+    "stockMarket1": [
+        """def isStable(prices):
+    swings = 0
+    for i in range(1, len(prices)):
+        if abs(prices[i] - prices[i - 1]) > 3:
+            swings += 1
+    return swings < 3
+""",
+        """def isStable(prices):
+    swings = 0
+    i = 1
+    while i < len(prices):
+        delta = prices[i] - prices[i - 1]
+        if delta > 3 or delta < -3:
+            swings += 1
+        i += 1
+    return swings < 3
+""",
+    ],
+    "stockMarket2": [
+        """def isCalm(prices, start, end):
+    highest = prices[start]
+    lowest = prices[start]
+    for i in range(start, end + 1):
+        if prices[i] > highest:
+            highest = prices[i]
+        if prices[i] < lowest:
+            lowest = prices[i]
+    return highest - lowest < 5
+""",
+    ],
+    "restaurantRush": [
+        """def maxRush(revenue):
+    best = 0
+    current = 0
+    for r in revenue:
+        current = current + r
+        if current < 0:
+            current = 0
+        if current > best:
+            best = current
+    return best
+""",
+        """def maxRush(revenue):
+    best = 0
+    for i in range(len(revenue)):
+        total = 0
+        for j in range(i, len(revenue)):
+            total += revenue[j]
+            if total > best:
+                best = total
+    return best
+""",
+    ],
+}
+
+#: Problem-registry name → variants key.
+PROBLEM_FAMILY = {
+    "prodBySum-6.00": "prodBySum",
+    "oddTuples-6.00": "oddTuples",
+    "compDeriv-6.00": "compDeriv",
+    "evalPoly-6.00": "evalPoly",
+    "compBal-stdin-6.00": "compBal",
+    "compDeriv-6.00x": "compDeriv",
+    "evalPoly-6.00x": "evalPoly",
+    "oddTuples-6.00x": "oddTuples",
+    "iterPower-6.00x": "iterPower",
+    "recurPower-6.00x": "recurPower",
+    "iterGCD-6.00x": "iterGCD",
+    "hangman1-str-6.00x": "hangman1",
+    "hangman2-str-6.00x": "hangman2",
+    "stock-market-I": "stockMarket1",
+    "stock-market-II": "stockMarket2",
+    "restaurant-rush": "restaurantRush",
+}
+
+
+def variants_for(problem_name: str) -> List[str]:
+    return VARIANTS[PROBLEM_FAMILY[problem_name]]

@@ -1,0 +1,93 @@
+"""Hole-directed execution of M̃PY programs with read-set recording.
+
+Running a candidate means interpreting the M̃PY tree while resolving each
+choice node from a hole assignment. The interpreter records every hole it
+actually consults: since execution is deterministic, *any* assignment that
+agrees on the recorded holes replays the identical run on the same input.
+A failing run therefore rules out the whole cube of agreeing assignments —
+the blocking-clause generalization the CEGIS synthesis phase feeds back to
+the SAT solver.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.mpy import nodes as N
+from repro.mpy.interp import DEFAULT_FUEL, Interpreter, RunResult
+from repro.tilde.nodes import ChoiceBinOp, ChoiceCompare, ChoiceExpr, ChoiceStmt
+
+
+class RecordingInterpreter(Interpreter):
+    """Interprets an M̃PY module under a hole assignment, recording reads."""
+
+    def __init__(
+        self,
+        module: N.Module,
+        assignment: Optional[Dict[int, int]] = None,
+        fuel: int = DEFAULT_FUEL,
+    ):
+        self.assignment: Dict[int, int] = assignment or {}
+        self.touched: Dict[int, int] = {}
+        super().__init__(module, fuel=fuel)
+
+    def run(
+        self, name: str, args: tuple, assignment: Optional[Dict[int, int]] = None
+    ) -> RunResult:
+        """Call ``name`` on ``args``; resets the touch record first."""
+        if assignment is not None:
+            self.assignment = assignment
+        self.touched = {}
+        return self.call(name, args)
+
+    def cube(self) -> Dict[int, int]:
+        """The holes read by the last run, with the branches they took."""
+        return dict(self.touched)
+
+    # -- choice-node semantics ----------------------------------------------
+
+    def _branch(self, cid: int) -> int:
+        branch = self.assignment.get(cid, 0)
+        self.touched[cid] = branch
+        return branch
+
+    def eval_ChoiceExpr(self, expr: ChoiceExpr, env):
+        return self.eval(expr.choices[self._branch(expr.cid)], env)
+
+    def eval_ChoiceCompare(self, expr: ChoiceCompare, env):
+        op = expr.ops[self._branch(expr.cid)]
+        left = self.eval(expr.left, env)
+        right = self.eval(expr.right, env)
+        return self.compare_op(op, left, right)
+
+    def eval_ChoiceBinOp(self, expr: ChoiceBinOp, env):
+        op = expr.ops[self._branch(expr.cid)]
+        left = self.eval(expr.left, env)
+        right = self.eval(expr.right, env)
+        return self.binary_op(op, left, right)
+
+    def exec_ChoiceStmt(self, stmt: ChoiceStmt, env) -> None:
+        block = stmt.choices[self._branch(stmt.cid)]
+        self.exec_block(block, env)
+
+    def assign_target(self, target, value, env) -> None:
+        # Assignment-target corrections (rewriting the LHS of assignments,
+        # which the paper lists among its supported transformations).
+        if isinstance(target, ChoiceExpr):
+            chosen = target.choices[self._branch(target.cid)]
+            self.assign_target(chosen, value, env)
+            return
+        super().assign_target(target, value, env)
+
+
+def run_candidate(
+    module: N.Module,
+    function: str,
+    args: tuple,
+    assignment: Dict[int, int],
+    fuel: int = DEFAULT_FUEL,
+) -> Tuple[RunResult, Dict[int, int]]:
+    """One-shot convenience wrapper; returns (result, touched cube)."""
+    interp = RecordingInterpreter(module, assignment, fuel=fuel)
+    result = interp.run(function, args)
+    return result, interp.cube()

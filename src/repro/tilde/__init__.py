@@ -1,0 +1,44 @@
+"""M̃PY: the choice-extended language of the paper (Fig. 6b).
+
+An M̃PY program succinctly describes a *weighted set* of MPY programs: each
+``Choice*`` node offers a zero-cost default (the student's original program
+element) plus cost-1 alternatives (the corrections an error model allows).
+
+- :mod:`repro.tilde.nodes` — choice nodes and the hole registry,
+- :mod:`repro.tilde.semantics` — the ⟦·⟧ weighted-set semantics (Fig. 7),
+- :mod:`repro.tilde.printer` — rendering with squiggly-brace choice syntax.
+"""
+
+from repro.tilde.nodes import (
+    ChoiceBinOp,
+    ChoiceCompare,
+    ChoiceExpr,
+    ChoiceStmt,
+    HoleInfo,
+    HoleRegistry,
+    collect_choices,
+    instantiate,
+)
+from repro.tilde.semantics import (
+    assignment_cost,
+    candidate_count,
+    enumerate_assignments,
+    weighted_programs,
+)
+from repro.tilde.printer import to_tilde_source
+
+__all__ = [
+    "ChoiceExpr",
+    "ChoiceCompare",
+    "ChoiceBinOp",
+    "ChoiceStmt",
+    "HoleInfo",
+    "HoleRegistry",
+    "collect_choices",
+    "instantiate",
+    "weighted_programs",
+    "enumerate_assignments",
+    "assignment_cost",
+    "candidate_count",
+    "to_tilde_source",
+]

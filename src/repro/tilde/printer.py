@@ -1,0 +1,63 @@
+"""Rendering M̃PY programs with the paper's squiggly-brace choice syntax.
+
+The default choice is marked with a ``!`` prefix in place of the paper's
+typeset box, e.g. ``{!deriv, [0]}`` for ``return { deriv ,[0]}`` (Fig. 4).
+Useful for debugging error models and for documentation; the output is not
+meant to be re-parsed.
+"""
+
+from __future__ import annotations
+
+from repro.mpy import nodes as N
+from repro.mpy.printer import Printer, _PRECEDENCE
+from repro.tilde.nodes import ChoiceBinOp, ChoiceCompare, ChoiceExpr, ChoiceStmt
+
+
+class TildePrinter(Printer):
+    """Extends the MPY printer over choice nodes."""
+
+    def expr_ChoiceExpr(self, expr: ChoiceExpr):
+        parts = ["!" + self.expr(expr.choices[0])]
+        parts.extend(self.expr(c) for c in expr.choices[1:])
+        return "{" + ", ".join(parts) + "}", _PRECEDENCE["atom"]
+
+    def expr_ChoiceCompare(self, expr: ChoiceCompare):
+        ops = "{!" + ", ".join(expr.ops[:1]) + (
+            ", " + ", ".join(expr.ops[1:]) if len(expr.ops) > 1 else ""
+        ) + "}"
+        left = self.expr(expr.left, _PRECEDENCE["cmp"] + 1)
+        right = self.expr(expr.right, _PRECEDENCE["cmp"] + 1)
+        return f"{left} {ops} {right}", _PRECEDENCE["cmp"]
+
+    def expr_ChoiceBinOp(self, expr: ChoiceBinOp):
+        ops = "{!" + ", ".join(expr.ops[:1]) + (
+            ", " + ", ".join(expr.ops[1:]) if len(expr.ops) > 1 else ""
+        ) + "}"
+        left = self.expr(expr.left, _PRECEDENCE["atom"])
+        right = self.expr(expr.right, _PRECEDENCE["atom"])
+        return f"{left} {ops} {right}", _PRECEDENCE["cmp"]
+
+    def stmt_ChoiceStmt(self, stmt: ChoiceStmt, depth: int, lines: list) -> None:
+        self._emit(depth, "{! choice %d" % stmt.cid, lines)
+        for index, block in enumerate(stmt.choices):
+            marker = "default:" if index == 0 else f"option {index}:"
+            self._emit(depth + 1, marker, lines)
+            if not block:
+                self._emit(depth + 2, "pass", lines)
+            for sub in block:
+                self.stmt(sub, depth + 2, lines)
+        self._emit(depth, "}", lines)
+
+
+_TILDE = TildePrinter()
+
+
+def to_tilde_source(node) -> str:
+    """Render an M̃PY module/statement/expression to annotated text."""
+    if isinstance(node, N.Module):
+        return _TILDE.program(node)
+    if isinstance(node, N.Stmt):
+        lines: list = []
+        _TILDE.stmt(node, 0, lines)
+        return "\n".join(lines)
+    return _TILDE.expr(node)

@@ -1,0 +1,241 @@
+"""The ⟦·⟧ weighted-set semantics of M̃PY (paper Fig. 7).
+
+Two independent views are implemented:
+
+1. :func:`weighted_set` — the paper's recursive definition, computing the
+   full weighted set of MPY programs an M̃PY tree denotes (cross products of
+   children, +1 per non-default alternative, min-merged on collision);
+2. :func:`enumerate_assignments` + :func:`assignment_cost` — the hole view
+   used by the solver engines, where a program is selected by assigning a
+   branch index to every hole and cost counts *active* non-default holes.
+
+The test suite checks the two views agree; the solvers rely on the hole view.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import fields, replace
+from typing import Dict, Iterator, Tuple
+
+from repro.mpy import nodes as N
+from repro.tilde.nodes import (
+    ChoiceBinOp,
+    ChoiceCompare,
+    ChoiceExpr,
+    ChoiceStmt,
+    HoleRegistry,
+    collect_choices,
+    instantiate,
+    instantiate_block,
+)
+
+
+def candidate_count(root: N.Node) -> int:
+    """Number of syntactically selectable candidates (paper's "32 candidate
+    programs" count for Fig. 4): product over reachable choices of branch
+    sums."""
+    if isinstance(root, ChoiceExpr):
+        return sum(candidate_count(c) for c in root.choices)
+    if isinstance(root, (ChoiceCompare, ChoiceBinOp)):
+        return len(root.ops) * candidate_count(root.left) * candidate_count(
+            root.right
+        )
+    if isinstance(root, ChoiceStmt):
+        return sum(
+            _block_count(block) for block in root.choices
+        )
+    count = 1
+    for child in root.children():
+        count *= candidate_count(child)
+    return count
+
+
+def _block_count(block: Tuple[N.Stmt, ...]) -> int:
+    count = 1
+    for stmt in block:
+        count *= candidate_count(stmt)
+    return count
+
+
+def assignment_cost(registry: HoleRegistry, assignment: Dict[int, int]) -> int:
+    """Number of corrections an assignment applies.
+
+    Counts every *active*, *non-free* hole assigned a non-default branch:
+    free holes are rule-RHS sets whose correction was already charged by the
+    boxed choice that enabled them.
+    """
+    cost = 0
+    for info in registry.holes():
+        if info.free or assignment.get(info.cid, 0) == 0:
+            continue
+        if _is_active(registry, info.cid, assignment):
+            cost += 1
+    return cost
+
+
+def _is_active(
+    registry: HoleRegistry, cid: int, assignment: Dict[int, int]
+) -> bool:
+    parent = registry.info(cid).parent
+    while parent is not None:
+        parent_cid, branch = parent
+        if assignment.get(parent_cid, 0) != branch:
+            return False
+        parent = registry.info(parent_cid).parent
+    return True
+
+
+def canonical_assignment(
+    registry: HoleRegistry, assignment: Dict[int, int]
+) -> Dict[int, int]:
+    """Zero out inactive holes so equivalent assignments compare equal."""
+    return {
+        info.cid: assignment.get(info.cid, 0)
+        for info in registry.holes()
+        if assignment.get(info.cid, 0) != 0
+        and _is_active(registry, info.cid, assignment)
+    }
+
+
+def enumerate_assignments(
+    registry: HoleRegistry, max_cost: int | None = None
+) -> Iterator[Dict[int, int]]:
+    """Every canonical hole assignment, optionally cost-bounded.
+
+    Enumeration is exponential; the engines only use it on small spaces and
+    in tests. Yields canonical assignments (inactive holes omitted) without
+    duplicates, cheapest-first is *not* guaranteed — sort by cost if needed.
+    """
+    holes = sorted(registry.holes(), key=lambda h: h.cid)
+    seen = set()
+    domains = [range(h.arity) for h in holes]
+    for combo in itertools.product(*domains):
+        assignment = {
+            h.cid: index for h, index in zip(holes, combo) if index != 0
+        }
+        canon = canonical_assignment(registry, assignment)
+        key = tuple(sorted(canon.items()))
+        if key in seen:
+            continue
+        seen.add(key)
+        if max_cost is not None and len(canon) > max_cost:
+            continue
+        yield canon
+
+
+def weighted_programs(
+    root: N.Node, registry: HoleRegistry
+) -> Dict[N.Node, int]:
+    """⟦root⟧ via hole enumeration: map from MPY program to minimal cost."""
+    result: Dict[N.Node, int] = {}
+    for assignment in enumerate_assignments(registry):
+        program = instantiate(root, assignment)
+        cost = assignment_cost(registry, assignment)
+        if program not in result or cost < result[program]:
+            result[program] = cost
+    return result
+
+
+# ---------------------------------------------------------------------------
+# The paper's direct recursive definition (Fig. 7)
+# ---------------------------------------------------------------------------
+
+
+def weighted_set(node: N.Node) -> Dict[N.Node, int]:
+    """⟦node⟧ by structural recursion, exactly as in paper Fig. 7."""
+    if isinstance(node, ChoiceExpr):
+        alt_extra = 0 if node.free else 1
+        result: Dict[N.Node, int] = dict(weighted_set(node.choices[0]))
+        for alt in node.choices[1:]:
+            for program, cost in weighted_set(alt).items():
+                _merge(result, program, cost + alt_extra)
+        return result
+    if isinstance(node, (ChoiceCompare, ChoiceBinOp)):
+        result = {}
+        lefts = weighted_set(node.left)
+        rights = weighted_set(node.right)
+        build = N.Compare if isinstance(node, ChoiceCompare) else N.BinOp
+        for (left, cl), (right, cr) in itertools.product(
+            lefts.items(), rights.items()
+        ):
+            for index, op in enumerate(node.ops):
+                extra = 0 if (index == 0 or node.free) else 1
+                _merge(
+                    result,
+                    build(op=op, left=left, right=right, line=node.line),
+                    cl + cr + extra,
+                )
+        return result
+    if isinstance(node, ChoiceStmt):
+        result = {}
+        for index, block in enumerate(node.choices):
+            extra = 0 if (index == 0 or node.free) else 1
+            for stmts, cost in _weighted_block(block).items():
+                # A block is represented as a tuple of statements; callers
+                # (the block case below) splice it.
+                _merge(result, stmts, cost + extra)
+        return result
+    return _weighted_composite(node)
+
+
+def _weighted_composite(node: N.Node) -> Dict[N.Node, int]:
+    """Cross product over children (Fig. 7's composite-expression case)."""
+    child_fields = []
+    for f in fields(node):
+        if f.name == "line":
+            continue
+        value = getattr(node, f.name)
+        if isinstance(value, N.Node):
+            child_fields.append((f.name, "node", weighted_set(value)))
+        elif isinstance(value, tuple) and value and all(
+            isinstance(v, N.Stmt) for v in value
+        ):
+            child_fields.append((f.name, "block", _weighted_block(value)))
+        elif isinstance(value, tuple) and any(
+            isinstance(v, N.Node) for v in value
+        ):
+            option_sets = [weighted_set(v) for v in value]
+            combos: Dict[tuple, int] = {}
+            for combo in itertools.product(*(s.items() for s in option_sets)):
+                items = tuple(p for p, _ in combo)
+                cost = sum(c for _, c in combo)
+                _merge(combos, items, cost)
+            child_fields.append((f.name, "tuple", combos))
+    if not child_fields:
+        return {node: 0}
+    result: Dict[N.Node, int] = {}
+    names = [name for name, _, _ in child_fields]
+    sets = [s for _, _, s in child_fields]
+    for combo in itertools.product(*(s.items() for s in sets)):
+        updates = {}
+        cost = 0
+        for name, (value, c) in zip(names, combo):
+            updates[name] = value
+            cost += c
+        _merge(result, replace(node, **updates), cost)
+    return result
+
+
+def _weighted_block(block: Tuple[N.Stmt, ...]) -> Dict[tuple, int]:
+    """Weighted sets of statement tuples, splicing ChoiceStmt branches."""
+    result: Dict[tuple, int] = {(): 0}
+    for stmt in block:
+        if isinstance(stmt, ChoiceStmt):
+            options = weighted_set(stmt)  # maps stmt-tuples to costs
+        else:
+            options = {
+                (program,): cost for program, cost in weighted_set(stmt).items()
+            }
+        new_result: Dict[tuple, int] = {}
+        for (prefix, pc), (suffix, sc) in itertools.product(
+            result.items(), options.items()
+        ):
+            _merge(new_result, prefix + suffix, pc + sc)
+        result = new_result
+    return result
+
+
+def _merge(mapping: Dict, key, cost: int) -> None:
+    if key not in mapping or cost < mapping[key]:
+        mapping[key] = cost

@@ -1,0 +1,129 @@
+"""Tests for the public API: classification statuses and report shape."""
+
+import pytest
+
+from repro.core import ProblemSpec, generate_feedback, grade_submission
+from repro.core.api import (
+    ALREADY_CORRECT,
+    BAD_SIGNATURE,
+    FIXED,
+    NO_FIX,
+    SYNTAX_ERROR,
+    UNSUPPORTED,
+)
+from repro.eml import parse_error_model
+from repro.mpy.values import Bounds
+
+SPEC = ProblemSpec.from_typed_reference(
+    "double",
+    "def double(x_int):\n    return x_int * 2\n",
+    bounds=Bounds(int_bits=4),
+)
+MODEL = parse_error_model(
+    """
+rule MULN: a * n -> a * {n + 1, n - 1}
+rule ADDN: a + n -> a + {n + 1, n - 1, 0}
+"""
+)
+
+
+def feedback(source, **kwargs):
+    return generate_feedback(source, SPEC, MODEL, timeout_s=30, **kwargs)
+
+
+class TestStatuses:
+    def test_syntax_error(self):
+        report = feedback("def double(x:\n")
+        assert report.status == SYNTAX_ERROR
+
+    def test_unsupported_feature(self):
+        report = feedback("import math\ndef double(x):\n    return x * 2\n")
+        assert report.status == UNSUPPORTED
+
+    def test_bad_signature_missing_function(self):
+        report = feedback("def halve(x):\n    return x\ndef other(y):\n    return y\n")
+        assert report.status == BAD_SIGNATURE
+
+    def test_bad_signature_wrong_arity(self):
+        report = feedback("def double(x, y):\n    return x\n")
+        assert report.status == BAD_SIGNATURE
+
+    def test_already_correct(self):
+        report = feedback("def double(x):\n    return x + x\n")
+        assert report.status == ALREADY_CORRECT
+        assert report.render() == "The program is correct."
+
+    def test_fixed(self):
+        report = feedback("def double(x):\n    return x * 3\n")
+        assert report.status == FIXED
+        assert report.cost == 1
+        assert report.fixed_source is not None
+        assert "x * 2" in report.fixed_source
+
+    def test_no_fix(self):
+        report = feedback("def double(x):\n    return x * x\n")
+        assert report.status == NO_FIX
+
+    def test_sole_function_fallback_with_rename(self):
+        # A typo'd name still grades when it is the only definition.
+        report = feedback("def duble(x):\n    return x * 3\n")
+        assert report.status == FIXED
+
+    def test_recursive_submission_renamed_consistently(self):
+        spec = ProblemSpec.from_typed_reference(
+            "countdown",
+            (
+                "def countdown(n_int):\n"
+                "    if n_int <= 0:\n"
+                "        return 0\n"
+                "    return countdown(n_int - 1)\n"
+            ),
+            bounds=Bounds(int_bits=3),
+        )
+        model = parse_error_model("rule RETN: return n -> return {n + 1, 0}")
+        report = generate_feedback(
+            (
+                "def cntdown(n):\n"
+                "    if n <= 0:\n"
+                "        return 1\n"
+                "    return cntdown(n - 1)\n"
+            ),
+            spec,
+            model,
+            timeout_s=30,
+        )
+        assert report.status == FIXED
+        assert report.cost == 1
+
+
+class TestGradeSubmission:
+    def test_grading_buckets(self):
+        assert grade_submission("def double(x:\n", SPEC) == SYNTAX_ERROR
+        assert (
+            grade_submission("import os\ndef double(x):\n    return x\n", SPEC)
+            == UNSUPPORTED
+        )
+        assert (
+            grade_submission("def double(x):\n    return 2 * x\n", SPEC)
+            == ALREADY_CORRECT
+        )
+        assert (
+            grade_submission("def double(x):\n    return x\n", SPEC)
+            == "incorrect"
+        )
+
+
+class TestReportShape:
+    def test_engine_result_attached(self):
+        report = feedback("def double(x):\n    return x * 3\n")
+        assert report.engine_result is not None
+        assert report.engine_result.stats["engine"] == "cegismin"
+
+    def test_items_sorted_by_line(self):
+        report = feedback("def double(x):\n    return x * 3\n")
+        lines = [item.line for item in report.items]
+        assert lines == sorted(lines)
+
+    def test_timing_recorded(self):
+        report = feedback("def double(x):\n    return x * 3\n")
+        assert report.wall_time > 0

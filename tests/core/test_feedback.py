@@ -1,0 +1,103 @@
+"""Tests for feedback generation and feedback levels."""
+
+from repro.core import ProblemSpec, generate_feedback
+from repro.core.feedback import FeedbackLevel, render_report
+from repro.eml import parse_error_model
+from repro.mpy.values import Bounds
+
+SPEC = ProblemSpec.from_typed_reference(
+    "inc",
+    "def inc(x_int):\n    return x_int + 1\n",
+    bounds=Bounds(int_bits=4),
+)
+
+
+def fixed_report(model_text, source):
+    model = parse_error_model(model_text)
+    report = generate_feedback(source, SPEC, model, timeout_s=30)
+    assert report.status == "fixed", report.status
+    return report
+
+
+class TestMessages:
+    def test_custom_message_template(self):
+        report = fixed_report(
+            'rule ADDN: a + n -> a + {n + 1, n - 1}\n'
+            '  msg: "On line {line}, {orig} should be {new}."',
+            "def inc(x):\n    return x + 2\n",
+        )
+        assert report.items[0].message == "On line 2, x + 2 should be x + 1."
+
+    def test_default_message(self):
+        report = fixed_report(
+            "rule ADDN: a + n -> a + {n + 1, n - 1}",
+            "def inc(x):\n    return x + 2\n",
+        )
+        message = report.items[0].message
+        assert "x + 2" in message and "x + 1" in message and "line 2" in message
+
+    def test_compare_op_message(self):
+        spec = ProblemSpec.from_typed_reference(
+            "pos",
+            "def pos(x_int):\n    return x_int > 0\n",
+            bounds=Bounds(int_bits=4),
+        )
+        model = parse_error_model(
+            "rule COMPR: anycmp(a0, a1) -> cmpset(a0, a1)"
+        )
+        report = generate_feedback(
+            "def pos(x):\n    return x >= 0\n", spec, model, timeout_s=30
+        )
+        assert report.status == "fixed"
+        item = report.items[0]
+        assert item.kind == "compare-op"
+        assert "change operator >= to >" in item.message
+
+
+class TestLevels:
+    def _item(self):
+        report = fixed_report(
+            "rule ADDN: a + n -> a + {n + 1, n - 1}",
+            "def inc(x):\n    return x + 2\n",
+        )
+        return report.items[0]
+
+    def test_location_level(self):
+        text = self._item().render(FeedbackLevel.LOCATION)
+        assert "line 2" in text
+        assert "x + 1" not in text and "x + 2" not in text
+
+    def test_expression_level(self):
+        text = self._item().render(FeedbackLevel.EXPRESSION)
+        assert "x + 2" in text
+        assert "x + 1" not in text
+
+    def test_subexpression_level(self):
+        text = self._item().render(FeedbackLevel.SUBEXPRESSION)
+        assert "x + 2" in text
+        assert "x + 1" not in text
+
+    def test_full_level_reveals_correction(self):
+        text = self._item().render(FeedbackLevel.FULL)
+        assert "x + 1" in text
+
+    def test_report_render_at_level(self):
+        report = fixed_report(
+            "rule ADDN: a + n -> a + {n + 1, n - 1}",
+            "def inc(x):\n    return x + 2\n",
+        )
+        hidden = report.render(FeedbackLevel.LOCATION)
+        assert "x + 1" not in hidden
+        assert hidden.startswith("The program requires 1 change:")
+
+
+class TestRenderReport:
+    def test_empty(self):
+        assert render_report([]) == "The program requires no changes."
+
+    def test_plural(self):
+        report = fixed_report(
+            "rule ADDN: a + n -> a + {n + 1, n - 1}",
+            "def inc(x):\n    return x + 2\n",
+        )
+        assert "1 change:" in render_report(report.items)

@@ -1,0 +1,132 @@
+"""Integration tests reproducing the paper's Fig. 2 end to end.
+
+Three algorithmically different computeDeriv submissions, one reference
+implementation, one error model — the tool must find the paper's minimal
+corrections (3, 1 and 2 changes respectively, Fig. 2(d)-(f)).
+"""
+
+import pytest
+
+from repro.core import generate_feedback
+from repro.problems import get_problem
+
+PROBLEM = get_problem("compDeriv-6.00x")
+
+FIG2A = """def computeDeriv(poly):
+    deriv = []
+    zero = 0
+    if (len(poly) == 1):
+        return deriv
+    for e in range(0,len(poly)):
+        if (poly[e] == 0):
+            zero += 1
+        else:
+            deriv.append(poly[e]*e)
+    return deriv
+"""
+
+# Fig. 2(b) as narrated: works for len >= 2 via pop(1), misses the [0]
+# base case for single-coefficient polynomials.
+FIG2B = """def computeDeriv(poly):
+    idx = 1
+    deriv = list([])
+    plen = len(poly)
+    while idx < plen:
+        coeff = poly.pop(1)
+        deriv += [coeff * idx]
+        idx = idx + 1
+    if len(poly) < 2:
+        return deriv
+"""
+
+FIG2C = """def computeDeriv(poly):
+    length = int(len(poly)-1)
+    i = length
+    deriv = range(1,length)
+    if len(poly) == 1:
+        deriv = [0]
+    else:
+        while i >= 0:
+            new = poly[i] * i
+            i -= 1
+            deriv[i] = new
+    return deriv
+"""
+
+
+@pytest.fixture(scope="module")
+def reports():
+    return {
+        name: generate_feedback(source, PROBLEM.spec, PROBLEM.model, timeout_s=120)
+        for name, source in [("a", FIG2A), ("b", FIG2B), ("c", FIG2C)]
+    }
+
+
+class TestFig2:
+    def test_all_three_submissions_fixed(self, reports):
+        for name, report in reports.items():
+            assert report.status == "fixed", f"Fig. 2({name}): {report.status}"
+            assert report.minimal, f"Fig. 2({name}) fix not proven minimal"
+
+    def test_fig2a_minimal_cost_under_full_model(self, reports):
+        # Under the Section 2.1 *simple* model the minimal fix is the
+        # paper's 3 changes (covered in tests/engines). The full Fig. 8
+        # model is strictly richer and admits a verified 2-change fix
+        # (return [0]; rewrite the comparison so only the e=0 term is
+        # skipped), so the minimal cost drops to 2.
+        assert reports["a"].cost == 2
+
+    def test_fig2b_needs_one_change(self, reports):
+        assert reports["b"].cost == 1  # "The program requires 1 change"
+
+    def test_fig2c_needs_two_changes(self, reports):
+        assert reports["c"].cost == 2  # "The program requires 2 changes"
+
+    def test_fig2b_fix_is_the_base_case(self, reports):
+        items = reports["b"].items
+        assert len(items) == 1
+        assert items[0].kind == "insert"
+        assert "[0]" in items[0].replacement
+
+    def test_fig2c_fixes_range_and_comparison(self, reports):
+        items = reports["c"].items
+        lines = sorted(item.line for item in items)
+        assert lines == [4, 8]  # range(1, length) and the while condition
+        kinds = {item.line: item for item in items}
+        assert "range" in kinds[4].original
+        assert kinds[8].original == "i >= 0"
+
+    def test_feedback_mentions_line_numbers(self, reports):
+        for report in reports.values():
+            for item in report.items:
+                assert item.line is not None
+                if item.kind != "insert":
+                    assert f"line {item.line}" in item.message
+
+    def test_fixed_programs_are_verified_equivalent(self, reports):
+        from repro.engines.verify import BoundedVerifier, outcome_of
+        from repro.mpy import parse_program
+        from repro.mpy.interp import Interpreter
+
+        verifier = BoundedVerifier(PROBLEM.spec)
+        for name, report in reports.items():
+            interp = Interpreter(
+                parse_program(report.fixed_source), fuel=PROBLEM.spec.fuel
+            )
+            assert verifier.is_equivalent(
+                lambda args: outcome_of(
+                    lambda: interp.call("computeDeriv", args), False
+                )
+            ), f"Fig. 2({name}) fixed program is not equivalent"
+
+    def test_render_matches_paper_header_style(self, reports):
+        text = reports["a"].render()
+        assert text.startswith("The program requires 2 changes:")
+        text_b = reports["b"].render()
+        assert text_b.startswith("The program requires 1 change:")
+
+    def test_times_within_paper_envelope(self, reports):
+        # The paper reports ~40s for Fig. 2(a) on a 2013 Xeon; anything
+        # under two minutes confirms the approach's practicality here.
+        for report in reports.values():
+            assert report.wall_time < 120

@@ -1,0 +1,74 @@
+"""Tests for arithset/ChoiceBinOp — operator sets over shared operands."""
+
+from repro.eml import apply_error_model, parse_error_model
+from repro.mpy import parse_program, to_source
+from repro.tilde import ChoiceExpr, HoleRegistry, instantiate
+from repro.tilde.nodes import ChoiceBinOp
+from repro.tilde.semantics import (
+    assignment_cost,
+    enumerate_assignments,
+    weighted_programs,
+    weighted_set,
+)
+
+
+def _transform(source):
+    model = parse_error_model(
+        "rule OPR: anyarith(a0, a1) -> arithset(a0', a1')"
+    )
+    module = parse_program(source)
+    return apply_error_model(module, model)
+
+
+class TestArithSetTransform:
+    def test_produces_choice_binop(self):
+        tilde, registry = _transform("def f(x, y):\n    return x * y\n")
+        ret = tilde.body[0].body[0]
+        outer = ret.value
+        assert isinstance(outer, ChoiceExpr)
+        alt = outer.choices[1]
+        assert isinstance(alt, ChoiceBinOp)
+        assert alt.ops[0] == "*"  # default operator is the original
+        assert alt.free
+
+    def test_instantiation_changes_operator(self):
+        tilde, registry = _transform("def f(x, y):\n    return x * y\n")
+        holes = sorted(h.cid for h in registry.holes())
+        outer_cid = max(holes)
+        binop_cid = min(holes)
+        fixed = instantiate(tilde, {outer_cid: 1, binop_cid: 1})
+        assert "x + y" in to_source(fixed)
+
+    def test_cost_is_one_per_rule_application(self):
+        tilde, registry = _transform("def f(x, y):\n    return x * y\n")
+        ret = tilde.body[0].body[0]
+        ws = weighted_set(ret)
+        from repro.mpy import parse_expression
+        from repro.mpy import nodes as N
+
+        assert ws[N.Return(value=parse_expression("x * y"))] == 0
+        assert ws[N.Return(value=parse_expression("x + y"))] == 1
+        assert ws[N.Return(value=parse_expression("x - y"))] == 1
+
+    def test_hole_view_agrees_with_weighted_set(self):
+        tilde, registry = _transform("def f(x, y):\n    return x * y\n")
+        ret = tilde.body[0].body[0]
+        sub_registry = HoleRegistry().rebuild_from(ret)
+        assert weighted_programs(ret, sub_registry) == weighted_set(ret)
+
+    def test_nested_operands_share_activation(self):
+        # Nested OPR inside a primed operand must stay correctly costed.
+        tilde, registry = _transform(
+            "def f(x, y, z):\n    return x * (y + z)\n"
+        )
+        for assignment in enumerate_assignments(registry, max_cost=2):
+            cost = assignment_cost(registry, assignment)
+            program = instantiate(tilde, assignment)
+            assert cost <= 2
+            # instantiation must never leak choice nodes
+            from repro.tilde.nodes import CHOICE_NODE_TYPES
+
+            assert not any(
+                isinstance(node, CHOICE_NODE_TYPES)
+                for node in program.walk()
+            )

@@ -1,0 +1,105 @@
+"""Tests for EML pattern matching."""
+
+from repro.eml.matcher import match
+from repro.eml.rules import ARITH_OP_KEY, CMP_OP_KEY
+from repro.eml.parser import parse_rule
+from repro.mpy import nodes as N
+from repro.mpy import parse_expression, parse_program
+
+
+def lhs_of(rule_text):
+    return parse_rule("T", rule_text + " -> True").lhs
+
+
+class TestExpressionMatching:
+    def test_var_metavar_matches_variable_only(self):
+        pattern = lhs_of("v[a]")
+        assert match(pattern, parse_expression("poly[e]")) is not None
+        assert match(pattern, parse_expression("f()[e]")) is None
+
+    def test_expr_metavar_matches_anything(self):
+        pattern = lhs_of("v[a]")
+        bindings = match(pattern, parse_expression("xs[i + 1]"))
+        assert bindings is not None
+        assert bindings["a"] == parse_expression("i + 1")
+        assert bindings["v"] == N.Var("xs")
+
+    def test_int_metavar_matches_literal_only(self):
+        pattern = parse_rule("T", "v = n -> v = {0}").lhs
+        program = parse_program("x = 3\n")
+        assert match(pattern, program.body[0]) is not None
+        program2 = parse_program("x = y\n")
+        assert match(pattern, program2.body[0]) is None
+
+    def test_literal_function_names_match_exactly(self):
+        pattern = lhs_of("range(a0, a1)")
+        assert match(pattern, parse_expression("range(0, 10)")) is not None
+        assert match(pattern, parse_expression("len(0, 10)")) is None
+        assert match(pattern, parse_expression("range(5)")) is None
+
+    def test_repeated_metavar_requires_equality(self):
+        pattern = lhs_of("a + a")
+        assert match(pattern, parse_expression("x + x")) is not None
+        assert match(pattern, parse_expression("x + y")) is None
+
+    def test_repeated_metavar_structural_equality(self):
+        pattern = lhs_of("a + a")
+        assert match(pattern, parse_expression("f(1) + f(1)")) is not None
+
+    def test_literal_ints_match_exactly(self):
+        pattern = lhs_of("a ** 2")
+        assert match(pattern, parse_expression("x ** 2")) is not None
+        assert match(pattern, parse_expression("x ** 3")) is None
+
+    def test_anycmp_binds_operator(self):
+        pattern = lhs_of("anycmp(a0, a1)")
+        bindings = match(pattern, parse_expression("i >= 0"))
+        assert bindings is not None
+        assert bindings[CMP_OP_KEY] == ">="
+
+    def test_anycmp_excludes_membership(self):
+        pattern = lhs_of("anycmp(a0, a1)")
+        assert match(pattern, parse_expression("x in lst")) is None
+
+    def test_anyarith_binds_operator(self):
+        pattern = lhs_of("anyarith(a0, a1)")
+        bindings = match(pattern, parse_expression("x * y"))
+        assert bindings is not None
+        assert bindings[ARITH_OP_KEY] == "*"
+
+    def test_match_against_subscript_slice(self):
+        pattern = lhs_of("a[1:]")
+        assert match(pattern, parse_expression("xs[1:]")) is not None
+        assert match(pattern, parse_expression("xs[2:]")) is None
+
+
+class TestStatementMatching:
+    def test_return_pattern(self):
+        pattern = parse_rule("T", "return a -> return [0]").lhs
+        stmt = parse_program("def f():\n    return deriv\n").body[0].body[0]
+        bindings = match(pattern, stmt)
+        assert bindings is not None
+        assert bindings["a"] == N.Var("deriv")
+
+    def test_return_pattern_rejects_bare_return(self):
+        pattern = parse_rule("T", "return a -> return [0]").lhs
+        stmt = parse_program("def f():\n    return\n").body[0].body[0]
+        assert match(pattern, stmt) is None
+
+    def test_print_varargs_pattern(self):
+        pattern = parse_rule("T", "print(...) -> remove").lhs
+        one = parse_program("print(1)\n").body[0]
+        many = parse_program("print(1, x, 'hi')\n").body[0]
+        zero = parse_program("print()\n").body[0]
+        other = parse_program("f(1)\n").body[0]
+        assert match(pattern, one) is not None
+        assert match(pattern, many) is not None
+        assert match(pattern, zero) is not None
+        assert match(pattern, other) is None
+
+    def test_augassign_pattern(self):
+        pattern = parse_rule("T", "v += n -> v += {n + 1}").lhs
+        stmt = parse_program("x += 2\n").body[0]
+        bindings = match(pattern, stmt)
+        assert bindings is not None
+        assert bindings["n"] == N.IntLit(2)

@@ -1,0 +1,177 @@
+"""Tests for the .eml parser."""
+
+import pytest
+
+from repro.eml import parse_error_model, parse_rule
+from repro.eml.errors import EMLSyntaxError
+from repro.eml.rules import (
+    AnyArgs,
+    ArithSet,
+    CmpSet,
+    FreeSet,
+    InsertTopRule,
+    Prime,
+    RewriteRule,
+    ScopeVars,
+)
+from repro.mpy import nodes as N
+from repro.mpy import parse_expression
+
+
+class TestRuleParsing:
+    def test_simple_expression_rule(self):
+        rule = parse_rule("RANR", "range(a1, a2) -> range(a1 + 1, a2)")
+        assert isinstance(rule, RewriteRule)
+        assert rule.lhs == parse_expression("range(a1, a2)")
+        assert rule.rhs == parse_expression("range(a1 + 1, a2)")
+        assert not rule.is_statement_rule
+
+    def test_statement_rule(self):
+        rule = parse_rule("RETR", "return a -> return [0]")
+        assert rule.is_statement_rule
+        assert rule.lhs == N.Return(value=N.Var("a"))
+        assert rule.rhs == N.Return(value=N.ListLit(elts=(N.IntLit(0),)))
+
+    def test_assignment_rule(self):
+        rule = parse_rule("INITR", "v = n -> v = {n + 1, n - 1, 0}")
+        assert isinstance(rule.lhs, N.Assign)
+        assert isinstance(rule.rhs.value, FreeSet)
+        assert len(rule.rhs.value.elements) == 3
+
+    def test_free_set(self):
+        rule = parse_rule("INDR", "v[a] -> v[{a + 1, a - 1, ?a}]")
+        free_set = rule.rhs.index
+        assert isinstance(free_set, FreeSet)
+        assert free_set.elements[2] == ScopeVars(binding="a")
+
+    def test_prime(self):
+        rule = parse_rule("C2", "v[a] -> {v'[a'] + 1}")
+        free_set = rule.rhs
+        assert isinstance(free_set, FreeSet)
+        indexed = free_set.elements[0].left
+        assert indexed == N.Index(obj=Prime("v"), index=Prime("a"))
+
+    def test_anycmp_and_cmpset(self):
+        rule = parse_rule(
+            "COMPR",
+            "anycmp(a0, a1) -> {cmpset({a0' - 1, ?a0}, {a1' - 1, 0, 1, ?a1}),"
+            " True, False}",
+        )
+        assert isinstance(rule.lhs, N.Compare)
+        assert rule.lhs.op == "?cmp"
+        outer = rule.rhs
+        assert isinstance(outer, FreeSet)
+        assert isinstance(outer.elements[0], CmpSet)
+        assert outer.elements[1] == N.BoolLit(True)
+
+    def test_anyarith_and_arithset(self):
+        rule = parse_rule("OPR", "anyarith(a0, a1) -> arithset(a0, a1)")
+        assert isinstance(rule.lhs, N.BinOp)
+        assert rule.lhs.op == "?arith"
+        assert isinstance(rule.rhs, ArithSet)
+
+    def test_remove_rhs(self):
+        rule = parse_rule("DROPPRINT", "print(...) -> remove")
+        assert rule.rhs is None
+        assert isinstance(rule.lhs, N.ExprStmt)
+        call = rule.lhs.value
+        assert isinstance(call.args[0], AnyArgs)
+
+    def test_double_quoted_strings(self):
+        rule = parse_rule("REPL", 'v.replace(a0, a1) -> v.replace(a0, "_")')
+        assert rule.rhs.args[1] == N.StrLit("_")
+
+    def test_single_quote_string_rejected(self):
+        with pytest.raises(EMLSyntaxError):
+            parse_rule("BAD", "v -> 'x'")
+
+    def test_missing_arrow(self):
+        with pytest.raises(EMLSyntaxError):
+            parse_rule("BAD", "v[a]")
+
+    def test_arrow_inside_parens_not_split(self):
+        # A set whose element contains a comparison is split at top level.
+        rule = parse_rule("OK", "a0 > a1 -> {a0 >= a1}")
+        assert isinstance(rule.rhs, FreeSet)
+
+    def test_mixed_sides_rejected(self):
+        with pytest.raises(EMLSyntaxError):
+            parse_rule("BAD", "return a -> a + 1")
+
+
+class TestModelParsing:
+    PAPER_FIG8 = """
+# The error model E for the computeDeriv problem (paper Fig. 8).
+model computeDeriv
+
+rule INDR: v[a] -> v[{a + 1, a - 1, ?a}]
+  msg: "change the list index"
+rule INITR: v = n -> v = {n + 1, n - 1, 0}
+rule RANR: range(a0, a1) -> range({0, 1, a0 - 1, a0 + 1}, {a1 + 1, a1 - 1})
+rule COMPR: anycmp(a0, a1) -> {cmpset({a0' - 1, ?a0}, {a1' - 1, 0, 1, ?a1}), True, False}
+rule RETR: return a -> return {[0] if len(a) == 1 else a, a[1:] if len(a) > 1 else a}
+"""
+
+    def test_paper_fig8_parses(self):
+        model = parse_error_model(self.PAPER_FIG8)
+        assert model.name == "computeDeriv"
+        assert [r.name for r in model] == [
+            "INDR",
+            "INITR",
+            "RANR",
+            "COMPR",
+            "RETR",
+        ]
+        assert model.rule_named("INDR").message == "change the list index"
+
+    def test_insert_top_rule(self):
+        model = parse_error_model(
+            """
+rule ADDBASE: insert-top
+    if len($1) == 1:
+        return [0]
+  msg: "add the base case at the top"
+"""
+        )
+        rule = model.rules[0]
+        assert isinstance(rule, InsertTopRule)
+        assert "$1" in rule.body_source
+        assert rule.message == "add the base case at the top"
+
+    def test_model_prefix(self):
+        model = parse_error_model(self.PAPER_FIG8)
+        assert len(model.prefix(2)) == 2
+        assert [r.name for r in model.prefix(2)] == ["INDR", "INITR"]
+
+    def test_empty_model(self):
+        model = parse_error_model("model empty\n")
+        assert len(model) == 0
+
+    def test_comments_and_blanks_ignored(self):
+        model = parse_error_model(
+            "# header\n\nrule A: v = n -> v = {0}\n# trailing\n"
+        )
+        assert len(model) == 1
+
+    def test_unknown_line_rejected(self):
+        with pytest.raises(EMLSyntaxError):
+            parse_error_model("florp\n")
+
+    def test_msg_without_rule_rejected(self):
+        with pytest.raises(EMLSyntaxError):
+            parse_error_model('msg: "hello"\n')
+
+    def test_bad_insert_top_body_rejected(self):
+        with pytest.raises(EMLSyntaxError):
+            parse_error_model(
+                "rule X: insert-top\n    import os\n"
+            )
+
+    def test_empty_insert_top_rejected(self):
+        with pytest.raises(EMLSyntaxError):
+            parse_error_model("rule X: insert-top\nrule Y: v = n -> v = {0}\n")
+
+    def test_rule_named_missing(self):
+        model = parse_error_model("rule A: v = n -> v = {0}\n")
+        with pytest.raises(KeyError):
+            model.rule_named("B")

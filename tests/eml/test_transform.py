@@ -1,0 +1,324 @@
+"""Tests for the T_E transformation (paper Section 3.3, Figs. 9–10)."""
+
+import pytest
+
+from repro.eml import apply_error_model, parse_error_model
+from repro.eml.transform import Transformer
+from repro.mpy import nodes as N
+from repro.mpy import parse_expression, parse_program, to_source
+from repro.mpy.values import IntType, ListType
+from repro.tilde import (
+    ChoiceCompare,
+    ChoiceExpr,
+    ChoiceStmt,
+    candidate_count,
+    collect_choices,
+    instantiate,
+)
+from repro.tilde.nodes import instantiate_block
+from repro.tilde.semantics import (
+    assignment_cost,
+    enumerate_assignments,
+    weighted_set,
+)
+
+
+def transform_expr_with(model_text, expr_text, param_types=None):
+    """Transform `def f(x, y): return <expr>` and dig out the return value."""
+    model = parse_error_model(model_text)
+    module = parse_program(f"def f(x, y):\n    return {expr_text}\n")
+    tilde, registry = apply_error_model(module, model, param_types)
+    ret = tilde.body[0].body[-1]
+    while isinstance(ret, ChoiceStmt):
+        ret = ret.choices[0][0]
+    return ret.value, registry
+
+
+class TestBasicTransform:
+    def test_no_match_returns_plain_tree(self):
+        value, registry = transform_expr_with(
+            "rule RANR: range(a0, a1) -> range(a0 + 1, a1)", "x + y"
+        )
+        assert value == parse_expression("x + y")
+        assert len(registry) == 0
+
+    def test_single_match_produces_binary_choice(self):
+        value, registry = transform_expr_with(
+            "rule RANR: range(a0, a1) -> range(a0 + 1, a1)", "range(0, x)"
+        )
+        assert isinstance(value, ChoiceExpr)
+        assert value.choices[0] == parse_expression("range(0, x)")
+        assert value.choices[1] == parse_expression("range(1, x)")
+        assert value.branch_rules == ("", "RANR")
+
+    def test_default_traversal_transforms_children(self):
+        # The rule matches a nested subterm; the default of the outer node
+        # carries the transformed child (w0 = w[t -> T(t)]).
+        value, _ = transform_expr_with(
+            "rule RANR: range(a0, a1) -> range(a0 + 1, a1)",
+            "len(range(0, x))",
+        )
+        assert isinstance(value, N.Call)
+        inner = value.args[0]
+        assert isinstance(inner, ChoiceExpr)
+
+    def test_free_set_becomes_free_choice(self):
+        value, registry = transform_expr_with(
+            "rule INITR: v + n -> v + {n + 1, n - 1, 0}", "x + 3"
+        )
+        assert isinstance(value, ChoiceExpr)
+        alt = value.choices[1]
+        free = alt.right
+        assert isinstance(free, ChoiceExpr)
+        assert free.free
+        assert free.choices == (
+            N.IntLit(4),
+            N.IntLit(2),
+            N.IntLit(0),
+        )
+
+    def test_noop_alternatives_dropped_in_free_sets(self):
+        # With n = 0, {n+1, n-1, 0} folds to {1, -1, 0}; nothing collapses,
+        # but with a rule producing only the original the branch is dropped.
+        value, registry = transform_expr_with(
+            "rule SAME: v + n -> v + n", "x + 3"
+        )
+        assert value == parse_expression("x + 3")
+
+    def test_cost_one_per_rule_application(self):
+        value, registry = transform_expr_with(
+            "rule INITR: v + n -> v + {n + 1, n - 1, 0}", "x + 3"
+        )
+        ws = weighted_set(N.Return(value=value))
+        assert ws[N.Return(value=parse_expression("x + 4"))] == 1
+        assert ws[N.Return(value=parse_expression("x + 0"))] == 1
+        assert ws[N.Return(value=parse_expression("x + 3"))] == 0
+
+
+class TestScopeVars:
+    MODEL = "rule INDR: v[a] -> v[{a + 1, a - 1, ?a}]"
+
+    def test_scope_vars_expand_to_same_type_vars(self):
+        model = parse_error_model(self.MODEL)
+        module = parse_program(
+            "def f(xs, i, j):\n    k = 0\n    return xs[i]\n"
+        )
+        tilde, registry = apply_error_model(
+            module,
+            model,
+            {"xs": ListType(IntType()), "i": IntType(), "j": IntType()},
+        )
+        ret = tilde.body[0].body[-1]
+        choice = ret.value
+        assert isinstance(choice, ChoiceExpr)
+        free = choice.choices[1].index
+        assert isinstance(free, ChoiceExpr)
+        rendered = {to_source(c) for c in free.choices}
+        # i + 1, i - 1, and the same-type scope variables (including i
+        # itself, a zero-extra-cost way to keep the operand) — but not xs
+        # (a list, not an int).
+        assert rendered == {"i + 1", "i - 1", "i", "j", "k"}
+
+    def test_scope_vars_offer_other_same_type_vars(self):
+        model = parse_error_model("rule C3: v[a] -> ?v[a]")
+        module = parse_program(
+            "def f(x, y, i):\n    return x[i]\n"
+        )
+        tilde, _ = apply_error_model(
+            module,
+            model,
+            {
+                "x": ListType(IntType()),
+                "y": ListType(IntType()),
+                "i": IntType(),
+            },
+        )
+        ret = tilde.body[0].body[-1]
+        choice = ret.value
+        # T(x[i]) offers y[i] — like paper Fig. 10 with model E1's C3.
+        assert isinstance(choice, ChoiceExpr)
+        alt = choice.choices[1]
+        assert isinstance(alt, N.Index)
+        base = alt.obj
+        assert isinstance(base, ChoiceExpr) and base.free
+        assert {to_source(c) for c in base.choices} == {"x", "y"}
+
+    def test_rule_inapplicable_when_no_scope_var(self):
+        model = parse_error_model("rule C3: v[a] -> ?v[a]")
+        module = parse_program("def f(x, i):\n    return x[i]\n")
+        tilde, registry = apply_error_model(
+            module, model, {"x": ListType(IntType()), "i": IntType()}
+        )
+        ret = tilde.body[0].body[-1]
+        # x is the only list in scope: ?v is empty, so C3 contributes nothing.
+        assert not isinstance(ret.value, ChoiceExpr)
+
+
+class TestPaperFig10:
+    """The worked example: E1 = {C1, C2, C3} applied to x[i] < y[j]."""
+
+    MODEL = """
+rule C1: v[a] -> v[{a - 1, a + 1}]
+rule C2: anycmp(a0, a1) -> cmpset({a0' - 1, 0}, {a1' - 1, 0})
+rule C3: v[a] -> ?v[a]
+"""
+
+    def _transform(self):
+        model = parse_error_model(self.MODEL)
+        module = parse_program("def f(x, y, i, j):\n    return x[i] < y[j]\n")
+        return apply_error_model(
+            module,
+            model,
+            {
+                "x": ListType(IntType()),
+                "y": ListType(IntType()),
+                "i": IntType(),
+                "j": IntType(),
+            },
+        )
+
+    def test_structure(self):
+        tilde, registry = self._transform()
+        ret = tilde.body[0].body[-1]
+        outer = ret.value
+        assert isinstance(outer, ChoiceExpr)
+        # Default: T(x[i]) < T(y[j]); alternative: the C2 rewrite.
+        default = outer.choices[0]
+        assert isinstance(default, N.Compare)
+        assert isinstance(default.left, ChoiceExpr)  # T(x[i]) has C1+C3 alts
+        assert default.left.branch_rules == ("", "C1", "C3")
+        c2 = outer.choices[1]
+        assert isinstance(c2, ChoiceCompare)
+        assert c2.ops[0] == "<"  # default operator is the original
+        assert c2.free
+
+    def test_candidate_set_matches_paper(self):
+        """All programs of Fig. 10's weighted set are reachable."""
+        tilde, registry = self._transform()
+        ret = tilde.body[0].body[-1]
+        programs = {
+            to_source(instantiate(ret, assignment).value)
+            for assignment in enumerate_assignments(registry)
+        }
+        # Spot-check paper-listed members of T(x[i] < y[j]).
+        for expected in [
+            "x[i] < y[j]",           # default
+            "x[i - 1] < y[j]",       # C1 on left
+            "y[i] < y[j]",           # C3 on left
+            "x[i] - 1 < y[j] - 1",   # C2, keep operator
+            "0 < 0",                 # C2 with 0 on both sides
+            "x[i - 1] - 1 < 0",      # C2 + nested C1 (prime recursion)
+            "y[i] - 1 < 0",          # C2 + nested C3
+            "x[i] - 1 >= y[j] - 1",  # C2 with operator change
+        ]:
+            assert expected in programs, expected
+
+    def test_nested_costs(self):
+        tilde, registry = self._transform()
+        ret = tilde.body[0].body[-1]
+        ws = weighted_set(ret)
+
+        def cost_of(source):
+            return ws[N.Return(value=parse_expression(source))]
+
+        assert cost_of("x[i] < y[j]") == 0
+        assert cost_of("x[i - 1] < y[j]") == 1
+        assert cost_of("x[i] - 1 < y[j] - 1") == 1     # one C2 application
+        assert cost_of("x[i - 1] - 1 < y[j] - 1") == 2  # C2 + nested C1
+        assert cost_of("x[i - 1] - 1 < y[j - 1] - 1") == 3
+
+
+class TestStatementRules:
+    def test_return_rule(self):
+        model = parse_error_model("rule RETR: return a -> return [0]")
+        module = parse_program("def f(x):\n    return x\n")
+        tilde, registry = apply_error_model(module, model)
+        stmt = tilde.body[0].body[0]
+        assert isinstance(stmt, ChoiceStmt)
+        assert instantiate_block((stmt,), {stmt.cid: 1}) == (
+            N.Return(value=parse_expression("[0]")),
+        )
+
+    def test_remove_rule(self):
+        model = parse_error_model("rule DROP: print(...) -> remove")
+        module = parse_program("def f(x):\n    print(x)\n    return x\n")
+        tilde, registry = apply_error_model(module, model)
+        body = tilde.body[0].body
+        assert isinstance(body[0], ChoiceStmt)
+        assert body[0].choices[1] == ()
+        assert instantiate_block(body, {body[0].cid: 1}) == (
+            N.Return(value=N.Var("x")),
+        )
+
+    def test_insert_top_rule(self):
+        model = parse_error_model(
+            """
+rule ADDBASE: insert-top
+    if len($1) == 1:
+        return [0]
+"""
+        )
+        module = parse_program("def f(poly):\n    return poly\n")
+        tilde, registry = apply_error_model(module, model)
+        body = tilde.body[0].body
+        assert isinstance(body[0], ChoiceStmt)
+        assert body[0].choices[0] == ()
+        inserted = instantiate_block(body, {body[0].cid: 1})
+        assert to_source(inserted[0]).startswith("if len(poly) == 1:")
+        # Default: nothing inserted.
+        assert instantiate_block(body, {}) == (N.Return(value=N.Var("poly")),)
+
+    def test_insert_top_skipped_for_arity_mismatch(self):
+        model = parse_error_model(
+            "rule ADDBASE: insert-top\n    return [$2]\n"
+        )
+        module = parse_program("def f(poly):\n    return poly\n")
+        tilde, registry = apply_error_model(module, model)
+        assert len(registry) == 0  # $2 does not exist for a 1-arg function
+
+    def test_statement_rule_costs(self):
+        model = parse_error_model("rule RETR: return a -> return [0]")
+        module = parse_program("def f(x):\n    return x\n")
+        tilde, registry = apply_error_model(module, model)
+        assignments = {
+            assignment_cost(registry, a): a
+            for a in enumerate_assignments(registry)
+        }
+        assert set(assignments) == {0, 1}
+
+
+class TestAmbiguousTransformations:
+    def test_two_rules_same_site_union(self):
+        """Section 3.3: ambiguous matches become separate alternatives."""
+        model = parse_error_model(
+            """
+rule C1: v[a] -> v[{a - 1, a + 1}]
+rule C3: v[a] -> v[{a * 2}]
+"""
+        )
+        module = parse_program("def f(x, i):\n    return x[i]\n")
+        tilde, _ = apply_error_model(module, model)
+        choice = tilde.body[0].body[0].value
+        assert isinstance(choice, ChoiceExpr)
+        assert choice.branch_rules == ("", "C1", "C3")
+        assert candidate_count(choice) == 1 + 2 + 1
+
+
+class TestTransformerDeterminism:
+    def test_same_input_same_output(self):
+        model = parse_error_model(TestPaperFig10.MODEL)
+        module = parse_program("def f(x, y, i, j):\n    return x[i] < y[j]\n")
+        first, _ = apply_error_model(module, model)
+        second, _ = apply_error_model(module, model)
+        assert first == second
+
+    def test_termination_on_recursive_looking_model(self):
+        # C2's primes recurse into operands which contain comparisons again.
+        model = parse_error_model(
+            "rule C2: anycmp(a0, a1) -> cmpset({a0' - 1, 0}, {a1' - 1, 0})"
+        )
+        module = parse_program(
+            "def f(x, y, z):\n    return (x < y) == (y < z)\n"
+        )
+        tilde, registry = apply_error_model(module, model)
+        assert len(registry) > 0  # terminated and produced choices

@@ -1,0 +1,126 @@
+"""Tests for the coarse type inference backing ?a."""
+
+from repro.eml.typeinfer import (
+    CoarseType,
+    TypeEnv,
+    infer_expr,
+    infer_function_env,
+)
+from repro.mpy import parse_expression, parse_program
+from repro.mpy.values import IntType, ListType, StrType
+
+
+def env_for(source, param_types=None):
+    module = parse_program(source)
+    fn = module.body[0]
+    return infer_function_env(fn, param_types)
+
+
+class TestFunctionEnv:
+    def test_params_take_declared_types(self):
+        env = env_for(
+            "def f(poly, x):\n    return x\n",
+            {"poly": ListType(IntType()), "x": IntType()},
+        )
+        assert env.get("poly") is CoarseType.LIST
+        assert env.get("x") is CoarseType.INT
+
+    def test_locals_from_literals(self):
+        env = env_for(
+            "def f():\n    i = 0\n    s = \"a\"\n    lst = []\n    t = (1,)\n"
+        )
+        assert env.get("i") is CoarseType.INT
+        assert env.get("s") is CoarseType.STR
+        assert env.get("lst") is CoarseType.LIST
+        assert env.get("t") is CoarseType.TUPLE
+
+    def test_builtin_results(self):
+        env = env_for(
+            "def f(xs):\n    n = len(xs)\n    r = range(n)\n    v = str(n)\n"
+        )
+        assert env.get("n") is CoarseType.INT
+        assert env.get("r") is CoarseType.LIST
+        assert env.get("v") is CoarseType.STR
+
+    def test_conflicting_assignments_become_unknown(self):
+        env = env_for("def f():\n    x = 1\n    x = \"s\"\n")
+        assert env.get("x") is CoarseType.UNKNOWN
+
+    def test_flow_through_intermediate(self):
+        # Second pass propagates: y = x needs x's type from pass one.
+        env = env_for("def f():\n    y = x\n    x = 1\n")
+        assert env.get("y") is CoarseType.INT
+
+    def test_string_iteration_binds_str(self):
+        env = env_for("def f(s):\n    for c in s:\n        pass\n", {"s": StrType()})
+        assert env.get("c") is CoarseType.STR
+
+    def test_branches_both_visited(self):
+        env = env_for(
+            "def f(p):\n    if p:\n        x = 1\n    else:\n        y = \"s\"\n"
+        )
+        assert env.get("x") is CoarseType.INT
+        assert env.get("y") is CoarseType.STR
+
+
+class TestExprInference:
+    def _env(self):
+        return TypeEnv(
+            {
+                "i": CoarseType.INT,
+                "s": CoarseType.STR,
+                "xs": CoarseType.LIST,
+                "u": CoarseType.UNKNOWN,
+            }
+        )
+
+    def test_literals(self):
+        env = self._env()
+        assert infer_expr(parse_expression("1"), env) is CoarseType.INT
+        assert infer_expr(parse_expression("True"), env) is CoarseType.BOOL
+        assert infer_expr(parse_expression('"x"'), env) is CoarseType.STR
+        assert infer_expr(parse_expression("[1]"), env) is CoarseType.LIST
+
+    def test_arithmetic(self):
+        env = self._env()
+        assert infer_expr(parse_expression("i + 1"), env) is CoarseType.INT
+        assert infer_expr(parse_expression("i * i"), env) is CoarseType.INT
+        assert infer_expr(parse_expression("s + s"), env) is CoarseType.STR
+        assert infer_expr(parse_expression("xs + xs"), env) is CoarseType.LIST
+
+    def test_comparison_is_bool(self):
+        assert (
+            infer_expr(parse_expression("i < 1"), self._env()) is CoarseType.BOOL
+        )
+
+    def test_indexing_string(self):
+        assert (
+            infer_expr(parse_expression("s[0]"), self._env()) is CoarseType.STR
+        )
+
+    def test_indexing_list_unknown(self):
+        assert (
+            infer_expr(parse_expression("xs[0]"), self._env())
+            is CoarseType.UNKNOWN
+        )
+
+    def test_method_results(self):
+        env = self._env()
+        assert (
+            infer_expr(parse_expression("xs.index(1)"), env) is CoarseType.INT
+        )
+        assert (
+            infer_expr(parse_expression('s.replace("a", "b")'), env)
+            is CoarseType.STR
+        )
+
+    def test_same_type_vars(self):
+        env = self._env()
+        assert env.same_type_vars(CoarseType.INT) == ("i", "u")
+        assert env.same_type_vars(CoarseType.STR) == ("s", "u")
+        # UNKNOWN is compatible with everything.
+        assert env.same_type_vars(CoarseType.UNKNOWN) == ("i", "s", "u", "xs")
+
+    def test_functions_never_offered(self):
+        env = TypeEnv({"g": CoarseType.FUNC, "i": CoarseType.INT})
+        assert env.same_type_vars(CoarseType.UNKNOWN) == ("i",)

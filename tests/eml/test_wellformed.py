@@ -1,0 +1,100 @@
+"""Tests for Definitions 1–2 (well-formedness) and Theorem 1 (termination)."""
+
+import pytest
+
+from repro.eml import parse_error_model, parse_rule
+from repro.eml.rules import ErrorModel, InsertTopRule
+from repro.eml.wellformed import (
+    EMLWellFormednessError,
+    check_model,
+    check_rule,
+)
+
+
+class TestDefinition1:
+    def test_paper_c2_is_well_formed(self):
+        # C2 : v[a] → {v'[a'] + 1} is well-formed (paper example).
+        rule = parse_rule("C2", "v[a] -> {v'[a'] + 1}")
+        check_rule(rule)  # must not raise
+
+    def test_prime_on_whole_lhs_rejected(self):
+        # C1 : a → {a' + 1} primes a subterm as large as L (Definition 1).
+        rule = parse_rule("C1", "a -> {a' + 1}")
+        with pytest.raises(EMLWellFormednessError):
+            check_rule(rule)
+
+    def test_prime_on_unbound_metavar_rejected(self):
+        rule = parse_rule("BAD", "v[a] -> {b' + 1}")
+        with pytest.raises(EMLWellFormednessError):
+            check_rule(rule)
+
+    def test_rhs_unbound_metavar_rejected(self):
+        # Section 3.2: the RHS may only mention LHS variables.
+        rule = parse_rule("BAD", "v[a] -> v[b]")
+        with pytest.raises(EMLWellFormednessError):
+            check_rule(rule)
+
+    def test_scope_vars_unbound_rejected(self):
+        rule = parse_rule("BAD", "v[a] -> v[?b]")
+        with pytest.raises(EMLWellFormednessError):
+            check_rule(rule)
+
+    def test_cmpset_without_anycmp_rejected(self):
+        rule = parse_rule("BAD", "a0 == a1 -> cmpset(a0, a1)")
+        with pytest.raises(EMLWellFormednessError):
+            check_rule(rule)
+
+    def test_arithset_without_anyarith_rejected(self):
+        rule = parse_rule("BAD", "a0 + a1 -> arithset(a0, a1)")
+        with pytest.raises(EMLWellFormednessError):
+            check_rule(rule)
+
+    def test_prime_in_lhs_rejected(self):
+        rule = parse_rule("BAD", "v[a'] -> v[a]")
+        with pytest.raises(EMLWellFormednessError):
+            check_rule(rule)
+
+    def test_free_set_in_lhs_rejected(self):
+        rule = parse_rule("BAD", "{a + 1} -> a")
+        with pytest.raises(EMLWellFormednessError):
+            check_rule(rule)
+
+    def test_anyargs_in_rhs_rejected(self):
+        rule = parse_rule("BAD", "print(...) -> print(...)")
+        with pytest.raises(EMLWellFormednessError):
+            check_rule(rule)
+
+
+class TestDefinition2:
+    def test_model_with_ill_formed_rule_rejected(self):
+        model = ErrorModel(
+            name="bad", rules=(parse_rule("C1", "a -> {a' + 1}"),)
+        )
+        with pytest.raises(EMLWellFormednessError):
+            check_model(model)
+
+    def test_duplicate_rule_names_rejected(self):
+        model = parse_error_model(
+            "rule A: v = n -> v = {0}\nrule A: return a -> return [0]\n"
+        )
+        with pytest.raises(EMLWellFormednessError):
+            check_model(model)
+
+    def test_empty_insert_top_rejected(self):
+        model = ErrorModel(
+            name="bad", rules=(InsertTopRule(name="X", body_source="  "),)
+        )
+        with pytest.raises(EMLWellFormednessError):
+            check_model(model)
+
+    def test_paper_fig8_model_is_well_formed(self):
+        model = parse_error_model(
+            """
+rule INDR: v[a] -> v[{a + 1, a - 1, ?a}]
+rule INITR: v = n -> v = {n + 1, n - 1, 0}
+rule RANR: range(a0, a1) -> range({0, 1, a0 - 1, a0 + 1}, {a1 + 1, a1 - 1})
+rule COMPR: anycmp(a0, a1) -> {cmpset({a0' - 1, ?a0}, {a1' - 1, 0, 1, ?a1}), True, False}
+rule RETR: return a -> return {[0] if len(a) == 1 else a, a[1:] if len(a) > 1 else a}
+"""
+        )
+        check_model(model)  # must not raise

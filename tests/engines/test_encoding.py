@@ -1,0 +1,125 @@
+"""SAT-level tests of the hole encoding: one-hot, activation, cost."""
+
+import pytest
+
+from repro.engines.encoding import HoleEncoding
+from repro.mpy import nodes as N
+from repro.mpy import parse_expression
+from repro.sat import SAT, UNSAT, Solver
+from repro.tilde import ChoiceExpr, HoleRegistry
+from repro.tilde.semantics import assignment_cost
+
+
+def _choice(cid, *sources, free=False):
+    return ChoiceExpr(
+        choices=tuple(parse_expression(s) for s in sources), cid=cid, free=free
+    )
+
+
+def build(root):
+    registry = HoleRegistry().rebuild_from(root)
+    solver = Solver()
+    encoding = HoleEncoding(solver, registry)
+    return registry, solver, encoding
+
+
+class TestOneHot:
+    def test_model_decodes_to_single_branch(self):
+        root = N.Return(value=_choice(0, "x", "y", "z"))
+        registry, solver, encoding = build(root)
+        assert solver.solve() == SAT
+        assignment = encoding.assignment_from_model()
+        assert set(assignment) <= {0}
+        assert assignment.get(0, 0) in (0, 1, 2)
+
+    def test_default_phase_bias(self):
+        root = N.Return(value=_choice(0, "x", "y", "z"))
+        registry, solver, encoding = build(root)
+        encoding.reset_phases()
+        assert solver.solve() == SAT
+        # With nothing blocked, the first model should be the default.
+        assert encoding.assignment_from_model() == {}
+
+
+class TestBlocking:
+    def test_block_assignment_forces_alternative(self):
+        root = N.Return(value=_choice(0, "x", "y"))
+        registry, solver, encoding = build(root)
+        encoding.block_assignment({})  # forbid the default
+        assert solver.solve() == SAT
+        assert encoding.assignment_from_model() == {0: 1}
+
+    def test_block_cube_covers_agreeing_assignments(self):
+        left = _choice(0, "x", "y")
+        right = _choice(1, "i", "j")
+        root = N.Return(value=N.BinOp(op="+", left=left, right=right))
+        registry, solver, encoding = build(root)
+        # Block the cube {hole0: 0}: both (0,0) and (0,1) must vanish.
+        encoding.block_cube({0: 0})
+        seen = set()
+        while solver.solve() == SAT:
+            assignment = encoding.assignment_from_model()
+            seen.add((assignment.get(0, 0), assignment.get(1, 0)))
+            encoding.block_assignment(assignment)
+        assert seen == {(1, 0), (1, 1)}
+
+    def test_empty_cube_is_unsat(self):
+        root = N.Return(value=_choice(0, "x", "y"))
+        registry, solver, encoding = build(root)
+        encoding.block_cube({})
+        assert solver.solve() == UNSAT
+
+
+class TestCostBounds:
+    def test_bound_zero_forces_defaults(self):
+        root = N.Return(
+            value=N.BinOp(
+                op="+", left=_choice(0, "x", "y"), right=_choice(1, "i", "j")
+            )
+        )
+        registry, solver, encoding = build(root)
+        assert solver.solve(assumptions=encoding.bound_assumptions(0)) == SAT
+        assert encoding.assignment_from_model() == {}
+        encoding.block_assignment({})
+        assert solver.solve(assumptions=encoding.bound_assumptions(0)) == UNSAT
+        assert solver.solve(assumptions=encoding.bound_assumptions(1)) == SAT
+
+    def test_free_holes_do_not_count(self):
+        root = N.Return(value=_choice(0, "x", "y", free=True))
+        registry, solver, encoding = build(root)
+        assert encoding.cost_inputs == []
+        assert solver.solve(assumptions=encoding.bound_assumptions(0)) == SAT
+
+    def test_model_cost_matches_semantics(self):
+        inner = _choice(1, "a", "a + 1")
+        outer = ChoiceExpr(
+            choices=(
+                parse_expression("a"),
+                N.BinOp(op="-", left=inner, right=N.IntLit(1)),
+            ),
+            cid=0,
+        )
+        root = N.Return(value=outer)
+        registry, solver, encoding = build(root)
+        while solver.solve() == SAT:
+            assignment = encoding.assignment_from_model()
+            assert encoding.model_cost() == assignment_cost(
+                registry, assignment
+            )
+            encoding.block_assignment(assignment)
+
+    def test_nested_inactive_hole_costs_nothing_in_sat(self):
+        inner = _choice(1, "a", "a + 1")
+        outer = ChoiceExpr(
+            choices=(
+                parse_expression("a"),
+                N.BinOp(op="-", left=inner, right=N.IntLit(1)),
+            ),
+            cid=0,
+        )
+        root = N.Return(value=outer)
+        registry, solver, encoding = build(root)
+        # Force inner to non-default but outer to default: cost must be 0.
+        solver.add_clause([encoding.branch_vars[1][1]])
+        solver.add_clause([encoding.branch_vars[0][0]])
+        assert solver.solve(assumptions=encoding.bound_assumptions(0)) == SAT

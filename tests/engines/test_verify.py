@@ -1,0 +1,144 @@
+"""Tests for the bounded verifier."""
+
+import pytest
+
+from repro.core.spec import ProblemSpec
+from repro.engines.verify import (
+    BoundedVerifier,
+    outcome_of,
+    outcomes_match,
+    typed_equal,
+)
+from repro.mpy import parse_program
+from repro.mpy.interp import Interpreter
+from repro.mpy.values import Bounds, IntType
+
+
+def _spec(source, bounds=None, **kwargs):
+    return ProblemSpec.from_typed_reference(
+        "test", source, bounds=bounds or Bounds(int_bits=3, max_list_len=2),
+        **kwargs,
+    )
+
+
+def runner_for(source, spec):
+    interp = Interpreter(parse_program(source), fuel=spec.fuel)
+
+    def run(args):
+        return outcome_of(
+            lambda: interp.call(spec.student_function, args),
+            spec.compare_stdout,
+        )
+
+    return run
+
+
+class TestTypedEqual:
+    def test_bool_int_distinct(self):
+        assert not typed_equal(True, 1)
+        assert not typed_equal([True], [1])
+        assert not typed_equal(0, False)
+
+    def test_int_float_distinct(self):
+        assert not typed_equal(1, 1.0)
+
+    def test_deep_equality(self):
+        assert typed_equal([1, [2, (3,)]], [1, [2, (3,)]])
+        assert not typed_equal([1, [2]], [1, (2,)])
+        assert typed_equal({"a": [1]}, {"a": [1]})
+        assert not typed_equal({"a": [True]}, {"a": [1]})
+
+
+class TestOutcomes:
+    def test_error_outcomes_match_any_error(self):
+        assert outcomes_match(("error",), ("error",))
+
+    def test_ok_vs_error(self):
+        assert not outcomes_match(("ok", 1, ()), ("error",))
+
+    def test_stdout_comparison(self):
+        assert not outcomes_match(("ok", None, ("a",)), ("ok", None, ("b",)))
+        assert outcomes_match(("ok", None, ("a",)), ("ok", None, ("a",)))
+
+
+class TestBoundedVerifier:
+    IDENTITY = "def f_int(x_int):\n    return x_int\n"
+
+    def test_equivalent_program_passes(self):
+        spec = _spec(self.IDENTITY)
+        verifier = BoundedVerifier(spec)
+        run = runner_for("def f(y):\n    return y\n", spec)
+        assert verifier.is_equivalent(run)
+
+    def test_counterexample_found(self):
+        spec = _spec(self.IDENTITY)
+        verifier = BoundedVerifier(spec)
+        run = runner_for("def f(y):\n    return y + (1 if y == 2 else 0)\n", spec)
+        cex = verifier.find_counterexample(run)
+        assert cex == (2,)
+
+    def test_inputs_ordered_smallest_first(self):
+        spec = _spec(self.IDENTITY)
+        verifier = BoundedVerifier(spec)
+        sizes = [abs(args[0]) for args in verifier.inputs]
+        assert sizes[0] == 0
+        assert sizes == sorted(sizes)
+
+    def test_priority_inputs_checked_first(self):
+        spec = _spec(self.IDENTITY)
+        verifier = BoundedVerifier(spec)
+        calls = []
+
+        def run(args):
+            calls.append(args)
+            return ("ok", args[0] + 1, ())  # always wrong
+
+        cex = verifier.find_counterexample(run, priority=[(3,)])
+        assert cex == (3,)
+        assert calls == [(3,)]
+
+    def test_reference_error_inputs_excluded(self):
+        # Division references exclude x where the reference itself errors.
+        spec = _spec("def f_int(x_int):\n    return 8 // x_int\n")
+        verifier = BoundedVerifier(spec)
+        assert all(args[0] != 0 for args in verifier.inputs)
+
+    def test_error_agreement_counts_as_match(self):
+        spec = _spec("def f_int(x_int):\n    return [1, 2][x_int]\n")
+        verifier = BoundedVerifier(spec)
+        # Reference errors on out-of-range x; those inputs are excluded, so
+        # a behaviorally identical student passes.
+        run = runner_for("def f(i):\n    return [1, 2][i]\n", spec)
+        assert verifier.is_equivalent(run)
+
+    def test_bool_result_type_matters(self):
+        spec = _spec("def f_int(x_int):\n    return x_int == 1\n")
+        verifier = BoundedVerifier(spec)
+        run = runner_for(
+            "def f(x):\n    return 1 if x == 1 else 0\n", spec
+        )
+        cex = verifier.find_counterexample(run)
+        assert cex is not None  # int 1 is not bool True
+
+    def test_stdout_verified_when_requested(self):
+        spec = ProblemSpec.from_typed_reference(
+            "printer",
+            'def f_int(x_int):\n    print("value", x_int)\n',
+            bounds=Bounds(int_bits=3),
+            compare_stdout=True,
+        )
+        verifier = BoundedVerifier(spec)
+        good = runner_for('def f(x):\n    print("value", x)\n', spec)
+        bad = runner_for('def f(x):\n    print("val", x)\n', spec)
+        assert verifier.is_equivalent(good)
+        assert not verifier.is_equivalent(bad)
+
+    def test_seed_inputs_prefix(self):
+        spec = _spec(self.IDENTITY)
+        verifier = BoundedVerifier(spec)
+        assert verifier.seed_inputs(3) == verifier.inputs[:3]
+
+    def test_expected_lookup(self):
+        spec = _spec(self.IDENTITY)
+        verifier = BoundedVerifier(spec)
+        assert verifier.expected((3,)) == ("ok", 3, ())

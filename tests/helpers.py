@@ -1,0 +1,25 @@
+"""Shared helpers for the test suite."""
+
+from __future__ import annotations
+
+from repro.mpy import parse_program, run_function
+from repro.mpy.errors import MPYRuntimeError
+
+
+def run(source: str, fn: str, *args, fuel: int = 100_000):
+    """Parse ``source`` and call ``fn`` with ``args``; return the value."""
+    return run_function(parse_program(source), fn, args, fuel=fuel).value
+
+
+def run_full(source: str, fn: str, *args, fuel: int = 100_000):
+    """Like :func:`run` but returns the full RunResult (value + stdout)."""
+    return run_function(parse_program(source), fn, args, fuel=fuel)
+
+
+def run_expect_error(source: str, fn: str, *args):
+    """Run and return the MPYRuntimeError the call raises (fail if none)."""
+    try:
+        run(source, fn, *args)
+    except MPYRuntimeError as exc:
+        return exc
+    raise AssertionError("expected MPYRuntimeError, but call succeeded")

@@ -1,0 +1,69 @@
+"""Small-scale tests of the experiment harness (the benchmark backbone)."""
+
+import pytest
+
+from repro.harness import (
+    fig14a_distribution,
+    format_fig14a,
+    format_fig14b,
+    format_fig14c,
+    format_table1,
+    run_problem,
+)
+from repro.problems import get_problem
+from repro.studentgen import generate_corpus
+
+
+@pytest.fixture(scope="module")
+def small_run():
+    problem = get_problem("prodBySum-6.00")
+    corpus = generate_corpus(problem, incorrect_count=5, seed=9)
+    return problem, run_problem(problem, corpus=corpus, timeout_s=10)
+
+
+class TestRunProblem:
+    def test_records_every_submission(self, small_run):
+        problem, run = small_run
+        assert run.incorrect == 5
+        assert all(r.status for r in run.records)
+
+    def test_statistics(self, small_run):
+        _, run = small_run
+        assert 0.0 <= run.fixed_percent <= 100.0
+        assert run.avg_time >= 0.0
+        assert run.median_time >= 0.0
+
+    def test_cost_histogram_only_counts_fixed(self, small_run):
+        _, run = small_run
+        histogram = run.cost_histogram()
+        assert sum(histogram.values()) <= run.fixed
+
+    def test_empty_model_fixes_nothing(self):
+        problem = get_problem("prodBySum-6.00")
+        corpus = generate_corpus(problem, incorrect_count=3, seed=9)
+        empty = problem.model.prefix(0, name="E0")
+        run = run_problem(problem, corpus=corpus, model=empty, timeout_s=10)
+        assert run.fixed == 0
+
+
+class TestFormatters:
+    def test_table1_layout(self, small_run):
+        problem, run = small_run
+        text = format_table1([(problem, run)])
+        assert "prodBySum-6.00" in text
+        assert "OVERALL" in text
+        assert "paper" in text
+
+    def test_fig14a_layout(self, small_run):
+        problem, run = small_run
+        distributions = fig14a_distribution([(problem, run)])
+        text = format_fig14a(distributions)
+        assert "c=1" in text and "TOTAL" in text
+
+    def test_fig14b_layout(self):
+        text = format_fig14b("prodBySum-6.00", [("E0", 0), ("E1", 3)])
+        assert "E0" in text and "###" in text
+
+    def test_fig14c_layout(self):
+        text = format_fig14c([("evalPoly-6.00x", 1, 3)])
+        assert "E-comp-deriv" in text

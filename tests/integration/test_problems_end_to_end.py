@@ -1,0 +1,178 @@
+"""End-to-end checks across the problem registry.
+
+One hand-written buggy submission per problem family, each carrying a
+known single defect the shipped error model must fix — these pin the
+per-problem models against regressions.
+"""
+
+import pytest
+
+from repro.core import generate_feedback, grade_submission
+from repro.core.api import ALREADY_CORRECT
+from repro.engines import BoundedVerifier
+from repro.problems import all_problems, get_problem
+
+#: (problem, buggy submission, expected max corrections)
+KNOWN_BUGGY = [
+    (
+        "prodBySum-6.00",
+        """def prodBySum(m, n):
+    result = 0
+    count = 0
+    while count < abs(n):
+        result += m
+        count += 1
+    if n < 0:
+        return result
+    return result
+""",
+        1,  # forgot to negate: RETV offers -a
+    ),
+    (
+        "oddTuples-6.00x",
+        """def oddTuples(aTup):
+    out = ()
+    for i in range(len(aTup)):
+        if i % 2 == 1:
+            out += (aTup[i],)
+    return out
+""",
+        1,  # parity flipped: COMPR right-operand set has {0, 1}
+    ),
+    (
+        "iterPower-6.00x",
+        """def iterPower(base, exp):
+    result = 0
+    for i in range(exp):
+        result = result * base
+    return result
+""",
+        1,  # result = 0: INITR offers 1
+    ),
+    (
+        "recurPower-6.00x",
+        """def recurPower(base, exp):
+    if exp == 0:
+        return 0
+    return base * recurPower(base, exp - 1)
+""",
+        1,  # base case returns 0: RETN offers 1
+    ),
+    (
+        "iterGCD-6.00x",
+        """def iterGCD(a, b):
+    while b != 0:
+        temp = a % b
+        a = b
+        b = temp
+    return b
+""",
+        1,  # returns b: RETV offers ?a
+    ),
+    (
+        "hangman1-str-6.00x",
+        """def isWordGuessed(secretWord, lettersGuessed):
+    for letter in secretWord:
+        if letter in lettersGuessed:
+            return False
+    return True
+""",
+        2,  # inverted membership (MEMR) and/or flipped returns
+    ),
+    (
+        "hangman2-str-6.00x",
+        """def getGuessedWord(secretWord, lettersGuessed):
+    guessed = ""
+    for letter in secretWord:
+        if letter not in lettersGuessed:
+            guessed = guessed + letter
+        else:
+            guessed = guessed + "_"
+    return guessed
+""",
+        1,  # inverted membership: MEMR2
+    ),
+    (
+        "evalPoly-6.00x",
+        """def evaluatePoly(poly, x):
+    result = 0
+    for i in range(len(poly)):
+        result += poly[i] * x ** (i + 1)
+    return result
+""",
+        1,  # exponent off by one: POWR
+    ),
+    (
+        "stock-market-I",
+        """def isStable(prices):
+    swings = 0
+    for i in range(1, len(prices)):
+        if abs(prices[i] - prices[i - 1]) > 4:
+            swings += 1
+    return swings < 3
+""",
+        1,  # threshold off by one: COMPR right set offers a1' - 1
+    ),
+    (
+        "restaurant-rush",
+        """def maxRush(revenue):
+    best = 0
+    current = 0
+    for r in revenue:
+        current = current + r
+        if current < 0:
+            current = 0
+        if current >= best:
+            best = current
+    return current
+""",
+        1,  # returns current: RETV offers ?best (>= is harmless)
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "name, source, max_cost", KNOWN_BUGGY, ids=[k[0] for k in KNOWN_BUGGY]
+)
+def test_known_bug_fixed(name, source, max_cost):
+    problem = get_problem(name)
+    assert grade_submission(source, problem.spec) == "incorrect"
+    report = generate_feedback(
+        source, problem.spec, problem.model, timeout_s=60
+    )
+    assert report.status == "fixed", f"{name}: {report.status}"
+    assert report.cost is not None and report.cost <= max_cost
+    assert report.items, "fixes must come with feedback items"
+
+
+@pytest.mark.parametrize(
+    "problem", all_problems(), ids=[p.name for p in all_problems()]
+)
+def test_reference_is_self_consistent(problem):
+    """Every reference grades as correct against its own verifier."""
+    assert (
+        grade_submission(problem.spec.reference_source, problem.spec)
+        == ALREADY_CORRECT
+    )
+
+
+def test_compbal_print_dropping():
+    """Section 6: a student printing extra text is fixed by DROPPRINT."""
+    problem = get_problem("compBal-stdin-6.00")
+    source = '''def compBal(price, rate):
+    print("starting")
+    total = price + price * rate // 100
+    payment = total // 12
+    extra = total % 12
+    for month in range(1, 13):
+        if month <= extra:
+            print(month, payment + 1)
+        else:
+            print(month, payment)
+'''
+    report = generate_feedback(
+        source, problem.spec, problem.model, timeout_s=60
+    )
+    assert report.status == "fixed"
+    assert report.cost == 1
+    assert report.items[0].kind == "remove"

@@ -1,0 +1,209 @@
+"""Differential tests: our interpreter vs CPython on the shared subset.
+
+Each test builds a program source, runs it under our interpreter and under
+``exec``, and compares outcomes (including "both raise"). Programs avoid the
+two documented deviations (``range`` mutability and fuel bounds).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpy import parse_program, run_function
+from repro.mpy.errors import MPYRuntimeError
+
+
+def run_both(source: str, fn: str, args: tuple):
+    """Run under CPython and under our interpreter; return outcome pair."""
+    namespace: dict = {}
+    exec(source, namespace)  # trusted test-authored source
+    import copy
+
+    try:
+        expected = ("ok", namespace[fn](*copy.deepcopy(list(args))))
+    except Exception as exc:  # noqa: BLE001 - intentional: outcome compare
+        expected = ("error", type(exc).__name__)
+    try:
+        actual = ("ok", run_function(parse_program(source), fn, args).value)
+    except MPYRuntimeError:
+        actual = ("error", None)
+    return expected, actual
+
+
+def assert_agrees(source: str, fn: str, *args):
+    expected, actual = run_both(source, fn, args)
+    if expected[0] == "ok":
+        assert actual == expected, f"mismatch on {source!r} args={args}"
+    else:
+        assert actual[0] == "error", (
+            f"CPython raised {expected[1]} but we returned {actual[1]!r} "
+            f"on {source!r} args={args}"
+        )
+
+
+REFERENCE_PROGRAMS = [
+    (
+        """def computeDeriv(poly):
+    result = []
+    for i in range(len(poly)):
+        result += [i * poly[i]]
+    if len(poly) == 1:
+        return result
+    else:
+        return result[1:]
+""",
+        "computeDeriv",
+        [([2, -3, 1, 4],), ([0],), ([],), ([1, 1],)],
+    ),
+    (
+        """def evaluatePoly(poly, x):
+    result = 0
+    for i in range(len(poly)):
+        result += poly[i] * x ** i
+    return result
+""",
+        "evaluatePoly",
+        [([1, 2, 3], 2), ([], 5), ([7], 0)],
+    ),
+    (
+        """def oddTuples(aTup):
+    out = ()
+    for i in range(len(aTup)):
+        if i % 2 == 0:
+            out += (aTup[i],)
+    return out
+""",
+        "oddTuples",
+        [((1, 2, 3, 4),), ((),), (("a",),)],
+    ),
+    (
+        """def gcdIter(a, b):
+    while b != 0:
+        a, b = b, a % b
+    return a
+""",
+        "gcdIter",
+        [(12, 18), (7, 3), (5, 0)],
+    ),
+    (
+        """def isIn(secret, guessed):
+    for c in secret:
+        if c not in guessed:
+            return False
+    return True
+""",
+        "isIn",
+        [("abc", ["a", "b", "c"]), ("ab", ["a"]), ("", [])],
+    ),
+]
+
+
+@pytest.mark.parametrize("source, fn, arglists", REFERENCE_PROGRAMS)
+def test_reference_programs_agree(source, fn, arglists):
+    for args in arglists:
+        assert_agrees(source, fn, *args)
+
+
+BUGGY_PROGRAMS = [
+    # off-by-one indexing raising IndexError on some inputs
+    (
+        "def f(lst):\n    return lst[len(lst)]\n",
+        "f",
+        [([1, 2],), ([],)],
+    ),
+    # type confusion: adding int to list
+    (
+        "def f(lst):\n    return lst + 1\n",
+        "f",
+        [([1],)],
+    ),
+    # string/int comparison
+    (
+        "def f(x):\n    return x < 'a'\n",
+        "f",
+        [(1,)],
+    ),
+    # division by zero on some inputs
+    (
+        "def f(a, b):\n    return a % b\n",
+        "f",
+        [(5, 0), (5, 3)],
+    ),
+    # unbound local
+    (
+        "def f(x):\n    if x > 0:\n        y = 1\n    return y\n",
+        "f",
+        [(1,), (-1,)],
+    ),
+]
+
+
+@pytest.mark.parametrize("source, fn, arglists", BUGGY_PROGRAMS)
+def test_buggy_programs_agree(source, fn, arglists):
+    for args in arglists:
+        assert_agrees(source, fn, *args)
+
+
+# -- hypothesis: random straight-line arithmetic over ints -------------------
+
+_int_exprs = st.recursive(
+    st.one_of(
+        st.sampled_from(["a", "b", "c"]),
+        st.integers(min_value=-9, max_value=9).map(str),
+    ),
+    lambda sub: st.one_of(
+        st.tuples(sub, st.sampled_from(["+", "-", "*"]), sub).map(
+            lambda t: f"({t[0]} {t[1]} {t[2]})"
+        ),
+        st.tuples(sub, st.sampled_from(["//", "%"]), sub).map(
+            lambda t: f"({t[0]} {t[1]} {t[2]})"
+        ),
+        st.tuples(sub, st.sampled_from(["<", "<=", "==", "!="]), sub).map(
+            lambda t: f"({int(False)} + ({t[0]} {t[1]} {t[2]}))"
+        ),
+        sub.map(lambda s: f"(-{s})"),
+        st.tuples(sub, sub, sub).map(
+            lambda t: f"({t[0]} if ({t[1]} % 2 == 0) else {t[2]})"
+        ),
+    ),
+    max_leaves=12,
+)
+
+
+@settings(max_examples=250, deadline=None)
+@given(
+    expr=_int_exprs,
+    a=st.integers(min_value=-8, max_value=8),
+    b=st.integers(min_value=-8, max_value=8),
+    c=st.integers(min_value=-8, max_value=8),
+)
+def test_random_arithmetic_agrees(expr, a, b, c):
+    source = f"def f(a, b, c):\n    return {expr}\n"
+    assert_agrees(source, "f", a, b, c)
+
+
+# -- hypothesis: random list pipelines ----------------------------------------
+
+_list_programs = st.sampled_from(
+    [
+        "def f(lst):\n    out = []\n    for x in lst:\n        out.append(x * 2)\n    return out\n",
+        "def f(lst):\n    return [x for x in lst if x % 2 == 0]\n",
+        "def f(lst):\n    return lst[1:-1]\n",
+        "def f(lst):\n    return lst[::-1]\n",
+        "def f(lst):\n    return sorted(lst) + lst\n",
+        "def f(lst):\n    s = 0\n    i = 0\n    while i < len(lst):\n        s += lst[i]\n        i += 1\n    return s\n",
+        "def f(lst):\n    return sum(lst) + len(lst) + (max(lst) if lst else 0)\n",
+        "def f(lst):\n    out = list(lst)\n    out.reverse()\n    return out\n",
+        "def f(lst):\n    return lst.count(1) + lst.count(2)\n",
+        "def f(lst):\n    if 3 in lst:\n        return lst.index(3)\n    return -1\n",
+    ]
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(
+    source=_list_programs,
+    lst=st.lists(st.integers(min_value=-8, max_value=8), max_size=5),
+)
+def test_random_list_programs_agree(source, lst):
+    assert_agrees(source, "f", lst)

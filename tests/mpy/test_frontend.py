@@ -1,0 +1,231 @@
+"""Frontend tests: Python source → MPY AST translation and subset checking."""
+
+import pytest
+
+from repro.mpy import nodes as N
+from repro.mpy import parse_expression, parse_program
+from repro.mpy.errors import FrontendError, UnsupportedFeature
+
+
+class TestBasicParsing:
+    def test_function_def(self):
+        mod = parse_program("def f(x, y):\n    return x + y\n")
+        assert len(mod.body) == 1
+        fn = mod.body[0]
+        assert isinstance(fn, N.FuncDef)
+        assert fn.name == "f"
+        assert fn.params == ("x", "y")
+        assert isinstance(fn.body[0], N.Return)
+
+    def test_int_literal(self):
+        assert parse_expression("42") == N.IntLit(42)
+
+    def test_bool_literal_is_not_int(self):
+        assert parse_expression("True") == N.BoolLit(True)
+        assert parse_expression("1") != N.BoolLit(True)
+
+    def test_string_literal(self):
+        assert parse_expression("'ab'") == N.StrLit("ab")
+
+    def test_none_literal(self):
+        assert parse_expression("None") == N.NoneLit()
+
+    def test_list_literal(self):
+        assert parse_expression("[1, 2]") == N.ListLit(
+            elts=(N.IntLit(1), N.IntLit(2))
+        )
+
+    def test_tuple_literal(self):
+        assert parse_expression("(1, 2)") == N.TupleLit(
+            elts=(N.IntLit(1), N.IntLit(2))
+        )
+
+    def test_dict_literal(self):
+        expr = parse_expression("{'a': 1}")
+        assert isinstance(expr, N.DictLit)
+        assert expr.keys == (N.StrLit("a"),)
+        assert expr.values == (N.IntLit(1),)
+
+    def test_binop(self):
+        expr = parse_expression("x + 1")
+        assert expr == N.BinOp(op="+", left=N.Var("x"), right=N.IntLit(1))
+
+    def test_all_arith_operators(self):
+        for op in ("+", "-", "*", "/", "//", "%", "**"):
+            expr = parse_expression(f"a {op} b")
+            assert isinstance(expr, N.BinOp)
+            assert expr.op == op
+
+    def test_all_comparison_operators(self):
+        for op in ("==", "!=", "<", ">", "<=", ">=", "in", "not in"):
+            expr = parse_expression(f"a {op} b")
+            assert isinstance(expr, N.Compare)
+            assert expr.op == op
+
+    def test_unary_ops(self):
+        assert parse_expression("-x") == N.UnaryOp(op="-", operand=N.Var("x"))
+        assert parse_expression("not x") == N.UnaryOp(op="not", operand=N.Var("x"))
+
+    def test_subscript_index(self):
+        assert parse_expression("a[i]") == N.Index(obj=N.Var("a"), index=N.Var("i"))
+
+    def test_subscript_slice(self):
+        expr = parse_expression("a[1:]")
+        assert isinstance(expr, N.Slice)
+        assert expr.lower == N.IntLit(1)
+        assert expr.upper is None
+
+    def test_call(self):
+        expr = parse_expression("f(x, 1)")
+        assert expr == N.Call(func=N.Var("f"), args=(N.Var("x"), N.IntLit(1)))
+
+    def test_method_call(self):
+        expr = parse_expression("lst.append(3)")
+        assert isinstance(expr, N.Call)
+        assert isinstance(expr.func, N.Attribute)
+        assert expr.func.attr == "append"
+
+    def test_ifexp(self):
+        expr = parse_expression("a if c else b")
+        assert expr == N.IfExp(test=N.Var("c"), body=N.Var("a"), orelse=N.Var("b"))
+
+    def test_listcomp(self):
+        expr = parse_expression("[x * 2 for x in lst if x > 0]")
+        assert isinstance(expr, N.ListComp)
+        assert len(expr.conds) == 1
+
+    def test_lambda(self):
+        expr = parse_expression("lambda x: x + 1")
+        assert isinstance(expr, N.Lambda)
+        assert expr.params == ("x",)
+
+
+class TestDesugaring:
+    def test_chained_comparison(self):
+        expr = parse_expression("a < b < c")
+        assert isinstance(expr, N.BoolOp)
+        assert expr.op == "and"
+        assert isinstance(expr.left, N.Compare)
+        assert isinstance(expr.right, N.Compare)
+
+    def test_nary_boolop_folds_right(self):
+        expr = parse_expression("a and b and c")
+        assert isinstance(expr, N.BoolOp)
+        assert expr.left == N.Var("a")
+        assert isinstance(expr.right, N.BoolOp)
+
+
+class TestStatements:
+    def test_if_elif_else(self):
+        mod = parse_program(
+            "if a:\n    x = 1\nelif b:\n    x = 2\nelse:\n    x = 3\n"
+        )
+        stmt = mod.body[0]
+        assert isinstance(stmt, N.If)
+        assert len(stmt.orelse) == 1
+        assert isinstance(stmt.orelse[0], N.If)
+
+    def test_while(self):
+        mod = parse_program("while x > 0:\n    x = x - 1\n")
+        assert isinstance(mod.body[0], N.While)
+
+    def test_for(self):
+        mod = parse_program("for i in range(3):\n    pass\n")
+        assert isinstance(mod.body[0], N.For)
+
+    def test_augassign(self):
+        mod = parse_program("x += 1\n")
+        stmt = mod.body[0]
+        assert isinstance(stmt, N.AugAssign)
+        assert stmt.op == "+"
+
+    def test_tuple_unpacking_target(self):
+        mod = parse_program("a, b = b, a\n")
+        assert isinstance(mod.body[0].target, N.TupleLit)
+
+    def test_break_continue_pass(self):
+        mod = parse_program(
+            "while True:\n    if a:\n        break\n    else:\n        continue\n"
+        )
+        assert isinstance(mod.body[0], N.While)
+
+    def test_nested_funcdef(self):
+        mod = parse_program(
+            "def f():\n    def g():\n        return 1\n    return g\n"
+        )
+        assert isinstance(mod.body[0].body[0], N.FuncDef)
+
+
+class TestLineNumbers:
+    def test_lines_recorded(self):
+        mod = parse_program("def f(x):\n    y = 1\n    return y\n")
+        fn = mod.body[0]
+        assert fn.line == 1
+        assert fn.body[0].line == 2
+        assert fn.body[1].line == 3
+
+    def test_lines_do_not_affect_equality(self):
+        a = N.IntLit(1, line=5)
+        b = N.IntLit(1, line=9)
+        assert a == b
+        assert hash(a) == hash(b)
+
+
+class TestRejections:
+    @pytest.mark.parametrize(
+        "source, feature_fragment",
+        [
+            ("import os\n", "Import"),
+            ("def f(*args):\n    pass\n", "parameters"),
+            ("def f(x=1):\n    pass\n", "parameters"),
+            ("x = 1.5\n", "float"),
+            ("f(x, key=1)\n", "keyword"),
+            ("with open('f') as f:\n    pass\n", "With"),
+            ("class A:\n    pass\n", "ClassDef"),
+            ("x = [a for a in b for c in d]\n", "nested comprehension"),
+            ("try:\n    pass\nexcept:\n    pass\n", "Try"),
+            ("x = y = 1\n", "chained assignment"),
+            ("assert x\n", "Assert"),
+            ("x = f'{y}'\n", "JoinedStr"),
+            ("del x\n", "Delete"),
+            ("x = a @ b\n", "operator"),
+            ("x = a | b\n", "operator"),
+            ("yield x\n", "yield"),
+        ],
+    )
+    def test_unsupported(self, source, feature_fragment):
+        with pytest.raises(FrontendError) as exc_info:
+            parse_program(source)
+        assert feature_fragment.lower() in str(exc_info.value).lower()
+
+    def test_syntax_error(self):
+        with pytest.raises(FrontendError):
+            parse_program("def f(:\n")
+
+    def test_unsupported_is_frontend_error(self):
+        assert issubclass(UnsupportedFeature, FrontendError)
+
+
+class TestNodeUtilities:
+    def test_walk_counts_nodes(self):
+        expr = parse_expression("x[i] < y[j]")
+        kinds = [type(n).__name__ for n in expr.walk()]
+        assert kinds.count("Index") == 2
+        assert kinds.count("Var") == 4
+
+    def test_size(self):
+        assert parse_expression("x").size() == 1
+        assert parse_expression("x + y").size() == 3
+
+    def test_map_children_identity(self):
+        expr = parse_expression("x + y")
+        assert N.map_children(expr, lambda n: n) is expr
+
+    def test_map_children_rewrite(self):
+        expr = parse_expression("x + y")
+        swapped = N.map_children(expr, lambda n: N.Var("z"))
+        assert swapped == N.BinOp(op="+", left=N.Var("z"), right=N.Var("z"))
+
+    def test_functions_map(self):
+        mod = parse_program("def f():\n    pass\ndef g():\n    pass\n")
+        assert set(mod.functions()) == {"f", "g"}

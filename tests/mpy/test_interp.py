@@ -1,0 +1,369 @@
+"""Interpreter tests: semantics of the MPY subset."""
+
+import pytest
+
+from repro.mpy import parse_program, run_function
+from repro.mpy.errors import MPYRuntimeError, OutOfFuel
+from tests.helpers import run, run_expect_error, run_full
+
+
+class TestArithmetic:
+    def test_basic_ops(self):
+        src = "def f(a, b):\n    return a * b + a - b\n"
+        assert run(src, "f", 3, 4) == 11
+
+    def test_division_is_python3(self):
+        assert run("def f(a, b):\n    return a / b\n", "f", 7, 2) == 3.5
+
+    def test_floor_division(self):
+        assert run("def f(a, b):\n    return a // b\n", "f", 7, 2) == 3
+        assert run("def f(a, b):\n    return a // b\n", "f", -7, 2) == -4
+
+    def test_modulo_matches_python(self):
+        assert run("def f(a, b):\n    return a % b\n", "f", -7, 3) == 2
+
+    def test_power(self):
+        assert run("def f(a, b):\n    return a ** b\n", "f", 2, 10) == 1024
+
+    def test_division_by_zero(self):
+        exc = run_expect_error("def f(a):\n    return a / 0\n", "f", 1)
+        assert "zero" in str(exc)
+
+    def test_string_concat(self):
+        assert run("def f(a, b):\n    return a + b\n", "f", "ab", "cd") == "abcd"
+
+    def test_list_concat(self):
+        assert run("def f(a, b):\n    return a + b\n", "f", [1], [2]) == [1, 2]
+
+    def test_string_repetition(self):
+        assert run("def f(s, n):\n    return s * n\n", "f", "ab", 3) == "ababab"
+
+    def test_mixed_add_is_error(self):
+        exc = run_expect_error("def f(a):\n    return a + 'x'\n", "f", 1)
+        assert "+" in str(exc)
+
+    def test_bool_arithmetic(self):
+        # True behaves as 1 in arithmetic, as in Python.
+        assert run("def f(b):\n    return b + 1\n", "f", True) == 2
+
+    def test_unary_minus(self):
+        assert run("def f(x):\n    return -x\n", "f", 5) == -5
+
+    def test_overflow_guard(self):
+        exc = run_expect_error("def f():\n    return 2 ** 10000\n", "f")
+        assert "overflow" in str(exc)
+
+
+class TestComparisons:
+    def test_ordering(self):
+        assert run("def f(a, b):\n    return a < b\n", "f", 1, 2) is True
+
+    def test_equality_across_types_is_false(self):
+        assert run("def f():\n    return 1 == 'a'\n", "f") is False
+
+    def test_ordering_across_types_is_error(self):
+        exc = run_expect_error("def f():\n    return 1 < 'a'\n", "f")
+        assert "<" in str(exc)
+
+    def test_membership_list(self):
+        assert run("def f(x, lst):\n    return x in lst\n", "f", 2, [1, 2]) is True
+
+    def test_membership_string(self):
+        assert run("def f():\n    return 'a' in 'cat'\n", "f") is True
+
+    def test_membership_string_requires_string(self):
+        exc = run_expect_error("def f():\n    return 1 in 'cat'\n", "f")
+        assert "string" in str(exc)
+
+    def test_not_in(self):
+        assert run("def f():\n    return 3 not in [1, 2]\n", "f") is True
+
+    def test_chained_comparison(self):
+        assert run("def f(x):\n    return 0 < x < 5\n", "f", 3) is True
+        assert run("def f(x):\n    return 0 < x < 5\n", "f", 7) is False
+
+    def test_list_comparison(self):
+        assert run("def f():\n    return [1, 2] < [1, 3]\n", "f") is True
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        src = "def f(x):\n    if x > 0:\n        return 'pos'\n    else:\n        return 'neg'\n"
+        assert run(src, "f", 1) == "pos"
+        assert run(src, "f", -1) == "neg"
+
+    def test_while_loop(self):
+        src = "def f(n):\n    s = 0\n    while n > 0:\n        s += n\n        n -= 1\n    return s\n"
+        assert run(src, "f", 4) == 10
+
+    def test_for_loop_over_list(self):
+        src = "def f(lst):\n    s = 0\n    for x in lst:\n        s += x\n    return s\n"
+        assert run(src, "f", [1, 2, 3]) == 6
+
+    def test_for_loop_over_string(self):
+        src = "def f(s):\n    out = []\n    for c in s:\n        out.append(c)\n    return out\n"
+        assert run(src, "f", "ab") == ["a", "b"]
+
+    def test_break(self):
+        src = (
+            "def f(lst):\n    for x in lst:\n        if x < 0:\n            break\n"
+            "    return x\n"
+        )
+        assert run(src, "f", [1, -2, 3]) == -2
+
+    def test_continue(self):
+        src = (
+            "def f(lst):\n    s = 0\n    for x in lst:\n        if x < 0:\n"
+            "            continue\n        s += x\n    return s\n"
+        )
+        assert run(src, "f", [1, -2, 3]) == 4
+
+    def test_no_return_yields_none(self):
+        assert run("def f():\n    x = 1\n", "f") is None
+
+    def test_infinite_loop_runs_out_of_fuel(self):
+        with pytest.raises(OutOfFuel):
+            run("def f():\n    while True:\n        pass\n", "f", fuel=1000)
+
+    def test_ifexp(self):
+        assert run("def f(x):\n    return 1 if x else 2\n", "f", True) == 1
+
+
+class TestDataStructures:
+    def test_list_indexing(self):
+        assert run("def f(lst):\n    return lst[1]\n", "f", [1, 2, 3]) == 2
+
+    def test_negative_index(self):
+        assert run("def f(lst):\n    return lst[-1]\n", "f", [1, 2, 3]) == 3
+
+    def test_index_out_of_range(self):
+        exc = run_expect_error("def f(lst):\n    return lst[5]\n", "f", [1])
+        assert "range" in str(exc)
+
+    def test_index_assignment(self):
+        src = "def f(lst):\n    lst[0] = 9\n    return lst\n"
+        assert run(src, "f", [1, 2]) == [9, 2]
+
+    def test_slicing(self):
+        assert run("def f(lst):\n    return lst[1:]\n", "f", [1, 2, 3]) == [2, 3]
+        assert run("def f(lst):\n    return lst[::-1]\n", "f", [1, 2, 3]) == [3, 2, 1]
+        assert run("def f(s):\n    return s[1:3]\n", "f", "abcd") == "bc"
+
+    def test_slice_assignment(self):
+        src = "def f(lst):\n    lst[0:1] = [7, 8]\n    return lst\n"
+        assert run(src, "f", [1, 2]) == [7, 8, 2]
+
+    def test_append_and_pop(self):
+        src = (
+            "def f():\n    lst = []\n    lst.append(1)\n    lst.append(2)\n"
+            "    lst.pop(0)\n    return lst\n"
+        )
+        assert run(src, "f") == [2]
+
+    def test_pop_empty_is_error(self):
+        exc = run_expect_error("def f():\n    return [].pop()\n", "f")
+        assert "empty" in str(exc)
+
+    def test_list_index_method(self):
+        assert run("def f(lst):\n    return lst.index(3)\n", "f", [1, 3, 3]) == 1
+
+    def test_list_index_missing_is_error(self):
+        run_expect_error("def f(lst):\n    return lst.index(9)\n", "f", [1])
+
+    def test_tuple_indexing(self):
+        assert run("def f(t):\n    return t[0]\n", "f", (5, 6)) == 5
+
+    def test_tuple_is_immutable(self):
+        exc = run_expect_error("def f(t):\n    t[0] = 1\n    return t\n", "f", (5,))
+        assert "assignment" in str(exc)
+
+    def test_dict_operations(self):
+        src = (
+            "def f():\n    d = {'a': 1}\n    d['b'] = 2\n"
+            "    return d['a'] + d['b']\n"
+        )
+        assert run(src, "f") == 3
+
+    def test_dict_missing_key(self):
+        exc = run_expect_error("def f(d):\n    return d['z']\n", "f", {"a": 1})
+        assert "KeyError" in str(exc)
+
+    def test_dict_get_default(self):
+        assert run("def f(d):\n    return d.get('z', 9)\n", "f", {}) == 9
+
+    def test_string_methods(self):
+        assert run("def f(s):\n    return s.replace('a', '_')\n", "f", "cab") == "c_b"
+        assert run("def f(s):\n    return s.upper()\n", "f", "ab") == "AB"
+
+    def test_string_is_immutable_no_item_assign(self):
+        run_expect_error("def f(s):\n    s[0] = 'x'\n    return s\n", "f", "ab")
+
+    def test_tuple_unpacking(self):
+        src = "def f(t):\n    a, b = t\n    return a - b\n"
+        assert run(src, "f", (5, 3)) == 2
+
+    def test_unpacking_arity_mismatch(self):
+        run_expect_error("def f(t):\n    a, b = t\n    return a\n", "f", (1, 2, 3))
+
+    def test_arguments_are_cloned_per_call(self):
+        # Mutating an argument must not leak into the caller-provided value.
+        module = parse_program("def f(lst):\n    lst.append(1)\n    return lst\n")
+        original = [5]
+        result = run_function(module, "f", (original,))
+        assert result.value == [5, 1]
+        assert original == [5]
+
+
+class TestBuiltins:
+    def test_len(self):
+        assert run("def f(x):\n    return len(x)\n", "f", [1, 2]) == 2
+        assert run("def f(x):\n    return len(x)\n", "f", "abc") == 3
+
+    def test_len_of_int_is_error(self):
+        run_expect_error("def f(x):\n    return len(x)\n", "f", 5)
+
+    def test_range_one_arg(self):
+        assert run("def f(n):\n    return range(n)\n", "f", 3) == [0, 1, 2]
+
+    def test_range_two_args(self):
+        assert run("def f():\n    return range(1, 4)\n", "f") == [1, 2, 3]
+
+    def test_range_step(self):
+        assert run("def f():\n    return range(0, 10, 3)\n", "f") == [0, 3, 6, 9]
+
+    def test_range_returns_mutable_list(self):
+        # Python-2 style range, needed by the paper's Fig. 2(c) program.
+        src = "def f():\n    r = range(3)\n    r[0] = 9\n    return r\n"
+        assert run(src, "f") == [9, 1, 2]
+
+    def test_sum_min_max(self):
+        assert run("def f(lst):\n    return sum(lst)\n", "f", [1, 2, 3]) == 6
+        assert run("def f(lst):\n    return min(lst)\n", "f", [3, 1, 2]) == 1
+        assert run("def f():\n    return max(1, 5, 2)\n", "f") == 5
+
+    def test_min_empty_is_error(self):
+        run_expect_error("def f():\n    return min([])\n", "f")
+
+    def test_conversions(self):
+        assert run("def f():\n    return int('42')\n", "f") == 42
+        assert run("def f():\n    return str(42)\n", "f") == "42"
+        assert run("def f():\n    return list((1, 2))\n", "f") == [1, 2]
+        assert run("def f():\n    return tuple([1, 2])\n", "f") == (1, 2)
+
+    def test_int_of_bad_string(self):
+        run_expect_error("def f():\n    return int('x')\n", "f")
+
+    def test_sorted_reversed(self):
+        assert run("def f(lst):\n    return sorted(lst)\n", "f", [3, 1]) == [1, 3]
+        assert run("def f(lst):\n    return reversed(lst)\n", "f", [1, 2]) == [2, 1]
+
+    def test_abs(self):
+        assert run("def f(x):\n    return abs(x)\n", "f", -4) == 4
+
+    def test_print_captured(self):
+        result = run_full("def f(x):\n    print('v', x)\n    return x\n", "f", 3)
+        assert result.stdout == ("v 3",)
+        assert result.value == 3
+
+    def test_print_list_formatting(self):
+        result = run_full("def f():\n    print([1, 'a'])\n", "f")
+        assert result.stdout == ("[1, 'a']",)
+
+
+class TestFunctions:
+    def test_recursion(self):
+        src = (
+            "def fact(n):\n    if n <= 1:\n        return 1\n"
+            "    return n * fact(n - 1)\n"
+        )
+        assert run(src, "fact", 5) == 120
+
+    def test_recursion_depth_bounded(self):
+        src = "def f(n):\n    return f(n + 1)\n"
+        exc = run_expect_error(src, "f", 0)
+        assert "recursion" in str(exc)
+
+    def test_mutual_recursion(self):
+        src = (
+            "def even(n):\n    if n == 0:\n        return True\n    return odd(n - 1)\n"
+            "def odd(n):\n    if n == 0:\n        return False\n    return even(n - 1)\n"
+        )
+        assert run(src, "even", 10) is True
+
+    def test_closures(self):
+        src = (
+            "def make_adder(n):\n    def add(x):\n        return x + n\n"
+            "    return add\n"
+            "def f(a, b):\n    return make_adder(a)(b)\n"
+        )
+        assert run(src, "f", 3, 4) == 7
+
+    def test_higher_order_functions(self):
+        src = (
+            "def apply_twice(fn, x):\n    return fn(fn(x))\n"
+            "def inc(x):\n    return x + 1\n"
+            "def f(x):\n    return apply_twice(inc, x)\n"
+        )
+        assert run(src, "f", 5) == 7
+
+    def test_lambda(self):
+        src = "def f(x):\n    g = lambda y: y * 2\n    return g(x)\n"
+        assert run(src, "f", 4) == 8
+
+    def test_list_comprehension(self):
+        src = "def f(lst):\n    return [x * x for x in lst if x > 0]\n"
+        assert run(src, "f", [-1, 2, 3]) == [4, 9]
+
+    def test_comprehension_variable_does_not_leak(self):
+        src = (
+            "def f(lst):\n    x = 99\n    y = [x for x in lst]\n    return x\n"
+        )
+        assert run(src, "f", [1, 2]) == 99
+
+    def test_wrong_arity(self):
+        exc = run_expect_error("def f(x):\n    return x\ndef g():\n    return f()\n", "g")
+        assert "arguments" in str(exc)
+
+    def test_calling_non_function(self):
+        exc = run_expect_error("def f(x):\n    return x(1)\n", "f", 5)
+        assert "not callable" in str(exc)
+
+
+class TestScoping:
+    def test_local_shadows_global(self):
+        src = "x = 10\ndef f():\n    x = 1\n    return x\n"
+        assert run(src, "f") == 1
+
+    def test_global_read(self):
+        src = "x = 10\ndef f():\n    return x\n"
+        assert run(src, "f") == 10
+
+    def test_unbound_local(self):
+        # A name assigned later in the body is local; reading it first fails.
+        src = "x = 10\ndef f():\n    y = x\n    x = 1\n    return y\n"
+        exc = run_expect_error(src, "f")
+        assert "before assignment" in str(exc)
+
+    def test_augassign_makes_local(self):
+        src = "x = 10\ndef f():\n    x += 1\n    return x\n"
+        exc = run_expect_error(src, "f")
+        assert "before assignment" in str(exc)
+
+    def test_undefined_name(self):
+        exc = run_expect_error("def f():\n    return zz\n", "f")
+        assert "not defined" in str(exc)
+
+
+class TestTypeErrors:
+    def test_indexing_int(self):
+        run_expect_error("def f(x):\n    return x[0]\n", "f", 5)
+
+    def test_noninteger_index(self):
+        run_expect_error("def f(lst):\n    return lst['a']\n", "f", [1])
+
+    def test_iterating_int(self):
+        run_expect_error("def f(x):\n    for i in x:\n        pass\n", "f", 3)
+
+    def test_unknown_attribute(self):
+        exc = run_expect_error("def f(lst):\n    return lst.push(1)\n", "f", [])
+        assert "push" in str(exc)

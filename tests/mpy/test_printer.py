@@ -1,0 +1,164 @@
+"""Printer tests: MPY → source round-trips and precedence correctness."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpy import parse_expression, parse_program, to_source
+
+
+ROUND_TRIP_EXPRESSIONS = [
+    "x + y * z",
+    "(x + y) * z",
+    "x - (y - z)",
+    "x ** y ** z",
+    "(x ** y) ** z",
+    "-x + y",
+    "-(x + y)",
+    "not x and y",
+    "not (x and y)",
+    "x < y == z",
+    "a[i]",
+    "a[i + 1]",
+    "a[1:]",
+    "a[:n]",
+    "a[::2]",
+    "a[i:j:k]",
+    "f(x, y)",
+    "lst.append(x)",
+    "[1, 2, 3]",
+    "[]",
+    "(1,)",
+    "(1, 2)",
+    "{'a': 1, 'b': 2}",
+    "{}",
+    "x if c else y",
+    "[x * 2 for x in lst if x > 0]",
+    "lambda x, y: x + y",
+    "a in b",
+    "a not in b",
+    "x % 2 == 0",
+    "a + b + c",
+    "a - b - c",
+    "a / b / c",
+    "a // b % c",
+    "'it' + \"s\"",
+    "-1",
+    "(-1) ** n",
+    "True and False or None",
+]
+
+
+@pytest.mark.parametrize("source", ROUND_TRIP_EXPRESSIONS)
+def test_expression_round_trip(source):
+    """parse → print → parse must be a fixpoint (same AST)."""
+    expr = parse_expression(source)
+    printed = to_source(expr)
+    assert parse_expression(printed) == expr
+
+
+PROGRAMS = [
+    # the paper's reference implementation for computeDeriv (Fig. 1)
+    """def computeDeriv(poly):
+    result = []
+    for i in range(len(poly)):
+        result += [i * poly[i]]
+    if len(poly) == 1:
+        return result
+    else:
+        return result[1:]
+""",
+    # if/elif/else chain
+    """def sign(x):
+    if x > 0:
+        return 1
+    elif x < 0:
+        return -1
+    else:
+        return 0
+""",
+    # while with break/continue
+    """def f(lst):
+    i = 0
+    while True:
+        i += 1
+        if i > len(lst):
+            break
+        if lst[i - 1] < 0:
+            continue
+    return i
+""",
+    # nested functions and closures
+    """def outer(n):
+    def inner(x):
+        return x + n
+    return inner
+""",
+    # empty-bodied constructs print as pass
+    """def noop():
+    pass
+""",
+]
+
+
+@pytest.mark.parametrize("source", PROGRAMS)
+def test_program_round_trip(source):
+    module = parse_program(source)
+    printed = to_source(module)
+    assert parse_program(printed) == module
+
+
+@pytest.mark.parametrize("source", PROGRAMS)
+def test_printed_program_is_valid_python(source):
+    import ast
+
+    printed = to_source(parse_program(source))
+    ast.parse(printed)  # must not raise
+
+
+def test_multiline_statement_rendering():
+    module = parse_program("x = 1\ny = x + 2\n")
+    assert to_source(module) == "x = 1\ny = x + 2\n"
+
+
+def test_statement_rendering():
+    module = parse_program("return_stmt = 0\n")
+    stmt = module.body[0]
+    assert to_source(stmt) == "return_stmt = 0"
+
+
+# -- property-based round-trip over generated expressions ---------------------
+
+_names = st.sampled_from(["x", "y", "z", "lst"])
+
+
+def _exprs(depth):
+    base = st.one_of(
+        st.integers(min_value=-20, max_value=20).map(str),
+        _names,
+        st.booleans().map(lambda b: "True" if b else "False"),
+    )
+    if depth == 0:
+        return base
+    sub = _exprs(depth - 1)
+    return st.one_of(
+        base,
+        st.tuples(sub, st.sampled_from(["+", "-", "*", "//", "%"]), sub).map(
+            lambda t: f"({t[0]} {t[1]} {t[2]})"
+        ),
+        st.tuples(sub, st.sampled_from(["<", ">", "==", "!="]), sub).map(
+            lambda t: f"({t[0]} {t[1]} {t[2]})"
+        ),
+        st.tuples(sub, sub).map(lambda t: f"({t[0]} if {t[1]} else {t[0]})"),
+        sub.map(lambda s: f"(-{s})"),
+        sub.map(lambda s: f"(not {s})"),
+        st.tuples(sub, sub).map(lambda t: f"[{t[0]}, {t[1]}]"),
+        st.tuples(sub, sub).map(lambda t: f"{t[0]}[{t[1]}]" if not t[0].lstrip("(").startswith("-") else f"lst[{t[1]}]"),
+    )
+
+
+@settings(max_examples=300, deadline=None)
+@given(_exprs(3))
+def test_round_trip_property(source):
+    expr = parse_expression(source)
+    assert parse_expression(to_source(expr)) == expr

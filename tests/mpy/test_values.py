@@ -1,0 +1,195 @@
+"""Tests for the MultiType value model and bounded input spaces."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpy.errors import MPYError
+from repro.mpy.values import (
+    Bounds,
+    BoolType,
+    CharListType,
+    IntType,
+    ListType,
+    MTFlag,
+    StrType,
+    TupleType,
+    clone_value,
+    from_multitype,
+    input_space,
+    input_space_size,
+    mt_flag,
+    parse_type_suffix,
+    to_multitype,
+)
+
+
+class TestMTFlags:
+    @pytest.mark.parametrize(
+        "value, flag",
+        [
+            (5, MTFlag.INTEGER),
+            (True, MTFlag.BOOL),
+            ("ab", MTFlag.STRING),
+            ([1], MTFlag.LIST),
+            ((1,), MTFlag.TUPLE),
+            ({1: 2}, MTFlag.DICTIONARY),
+            (None, MTFlag.NONE),
+        ],
+    )
+    def test_flags(self, value, flag):
+        assert mt_flag(value) is flag
+
+    def test_bool_is_not_integer(self):
+        # The paper's MultiType distinguishes BOOL from INTEGER flags.
+        assert mt_flag(True) is not MTFlag.INTEGER
+
+    def test_unknown_value_rejected(self):
+        with pytest.raises(MPYError):
+            mt_flag(object())
+
+
+_simple_values = st.recursive(
+    st.one_of(
+        st.integers(min_value=-8, max_value=7),
+        st.booleans(),
+        st.text(alphabet="ab", max_size=3),
+        st.none(),
+    ),
+    lambda children: st.one_of(
+        st.lists(children, max_size=3),
+        st.tuples(children, children),
+    ),
+    max_leaves=8,
+)
+
+
+class TestBoxing:
+    @settings(max_examples=200, deadline=None)
+    @given(_simple_values)
+    def test_round_trip(self, value):
+        assert from_multitype(to_multitype(value)) == value
+
+    def test_paper_example_int(self):
+        boxed = to_multitype(5)
+        assert boxed.flag is MTFlag.INTEGER
+        assert boxed.val == 5
+
+    def test_paper_example_list(self):
+        # Paper Section 2.3: [1, 2] becomes a LIST MultiType of INTEGERs.
+        boxed = to_multitype([1, 2])
+        assert boxed.flag is MTFlag.LIST
+        assert len(boxed.lst) == 2
+        assert boxed.lst[0].flag is MTFlag.INTEGER
+        assert boxed.lst[0].val == 1
+
+    def test_dict_round_trip(self):
+        assert from_multitype(to_multitype({"a": [1]})) == {"a": [1]}
+
+
+class TestClone:
+    def test_clone_is_deep(self):
+        original = [[1], {"k": [2]}]
+        cloned = clone_value(original)
+        cloned[0].append(9)
+        cloned[1]["k"].append(9)
+        assert original == [[1], {"k": [2]}]
+
+
+class TestTypeSuffixParsing:
+    def test_list_int(self):
+        name, sig = parse_type_suffix("poly_list_int")
+        assert name == "poly"
+        assert sig == ListType(IntType())
+
+    def test_plain_int(self):
+        name, sig = parse_type_suffix("m_int")
+        assert name == "m"
+        assert sig == IntType()
+
+    def test_str(self):
+        name, sig = parse_type_suffix("secretWord_str")
+        assert name == "secretWord"
+        assert sig == StrType()
+
+    def test_list_str(self):
+        name, sig = parse_type_suffix("letters_list_str")
+        assert name == "letters"
+        assert sig == CharListType()
+
+    def test_tuple(self):
+        name, sig = parse_type_suffix("l_tuple_int")
+        assert name == "l"
+        assert sig == TupleType(IntType())
+
+    def test_no_suffix(self):
+        name, sig = parse_type_suffix("poly")
+        assert name == "poly"
+        assert sig is None
+
+
+class TestEnumeration:
+    def test_int_range_4_bits(self):
+        bounds = Bounds(int_bits=4)
+        values = list(IntType().enumerate(bounds))
+        assert values == list(range(-8, 8))
+        assert IntType().count(bounds) == 16
+
+    def test_nonneg_int(self):
+        bounds = Bounds(int_bits=4)
+        values = list(IntType(nonneg=True).enumerate(bounds))
+        assert values == list(range(0, 8))
+
+    def test_positive_int(self):
+        bounds = Bounds(int_bits=4)
+        values = list(IntType(positive=True).enumerate(bounds))
+        assert values == list(range(1, 8))
+
+    def test_bool(self):
+        assert list(BoolType().enumerate(Bounds())) == [False, True]
+
+    def test_list_count_matches_enumeration(self):
+        bounds = Bounds(int_bits=2, max_list_len=2)
+        sig = ListType(IntType())
+        values = list(sig.enumerate(bounds))
+        # lengths 0..2 over 4 ints: 1 + 4 + 16 = 21
+        assert len(values) == 21
+        assert sig.count(bounds) == 21
+
+    def test_paper_input_space_size(self):
+        # Paper Section 2.3: bounds of 4 bits / length 4 give "more than
+        # 2^16 different input values" for a single list argument.
+        bounds = Bounds(int_bits=4, max_list_len=4)
+        assert ListType(IntType()).count(bounds) > 2**16
+
+    def test_str_enumeration(self):
+        bounds = Bounds(str_alphabet="ab", max_str_len=2)
+        values = list(StrType().enumerate(bounds))
+        assert values == ["", "a", "b", "aa", "ab", "ba", "bb"]
+        assert StrType().count(bounds) == 7
+
+    def test_char_list(self):
+        bounds = Bounds(str_alphabet="ab", max_list_len=1)
+        values = list(CharListType().enumerate(bounds))
+        assert values == [[], ["a"], ["b"]]
+
+    def test_multi_arg_space(self):
+        bounds = Bounds(int_bits=2)
+        args = (IntType(), BoolType())
+        combos = list(input_space(args, bounds))
+        assert len(combos) == 8
+        assert input_space_size(args, bounds) == 8
+
+    def test_space_values_are_fresh(self):
+        bounds = Bounds(int_bits=2, max_list_len=1)
+        space = list(input_space((ListType(IntType()),), bounds))
+        space[1][0].append(99)
+        space2 = list(input_space((ListType(IntType()),), bounds))
+        assert space2[1][0] != space[1][0] or space[1][0] == space2[1][0][:1] + [99]
+
+    def test_bounded_list_lengths(self):
+        bounds = Bounds(int_bits=2)
+        sig = ListType(IntType(), min_len=1, max_len=2)
+        values = list(sig.enumerate(bounds))
+        assert all(1 <= len(v) <= 2 for v in values)
+        assert len(values) == sig.count(bounds)

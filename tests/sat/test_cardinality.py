@@ -1,0 +1,76 @@
+"""Tests for the sequential-counter cardinality encoding."""
+
+import itertools
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sat import SAT, UNSAT, CountingNetwork, Solver
+
+
+def fresh(n):
+    solver = Solver()
+    inputs = [solver.new_var() for _ in range(n)]
+    network = CountingNetwork(solver, inputs)
+    return solver, inputs, network
+
+
+class TestCountingNetwork:
+    def test_bound_zero_forces_all_false(self):
+        solver, inputs, network = fresh(4)
+        assumptions = network.bound_assumption(0)
+        assert solver.solve(assumptions=assumptions) == SAT
+        assert all(not solver.model_value(x) for x in inputs)
+
+    def test_bound_conflicts_with_forced_inputs(self):
+        solver, inputs, network = fresh(4)
+        for x in inputs[:3]:
+            solver.add_clause([x])
+        assert solver.solve(assumptions=network.bound_assumption(2)) == UNSAT
+        assert solver.solve(assumptions=network.bound_assumption(3)) == SAT
+
+    def test_bound_at_size_is_vacuous(self):
+        solver, inputs, network = fresh(3)
+        assert network.bound_assumption(3) == []
+        assert network.bound_assumption(5) == []
+
+    def test_descending_bounds_incremental(self):
+        """The CEGISMIN usage pattern: tighten without re-encoding."""
+        solver, inputs, network = fresh(5)
+        solver.add_clause(inputs[:3])  # at least one of the first three
+        for bound in (4, 3, 2, 1):
+            assert solver.solve(assumptions=network.bound_assumption(bound)) == SAT
+        assert solver.solve(assumptions=network.bound_assumption(0)) == UNSAT
+
+    def test_outputs_track_true_count(self):
+        solver, inputs, network = fresh(4)
+        solver.add_clause([inputs[0]])
+        solver.add_clause([inputs[2]])
+        solver.add_clause([-inputs[1]])
+        solver.add_clause([-inputs[3]])
+        assert solver.solve() == SAT
+        assert solver.model_value(network.at_least(1))
+        assert solver.model_value(network.at_least(2))
+        assert network.count_true(solver.model_value) == 2
+
+    def test_empty_network(self):
+        solver = Solver()
+        network = CountingNetwork(solver, [])
+        assert network.bound_assumption(0) == []
+        assert solver.solve() == SAT
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        n=st.integers(min_value=1, max_value=6),
+        forced=st.lists(st.booleans(), min_size=6, max_size=6),
+        bound=st.integers(min_value=0, max_value=6),
+    )
+    def test_bound_semantics_exhaustive(self, n, forced, bound):
+        solver, inputs, network = fresh(n)
+        true_count = 0
+        for x, value in zip(inputs, forced):
+            solver.add_clause([x] if value else [-x])
+            true_count += 1 if value else 0
+        result = solver.solve(assumptions=network.bound_assumption(bound))
+        expected = SAT if true_count <= bound else UNSAT
+        assert result == expected

@@ -1,0 +1,81 @@
+"""Tests for corpus generation."""
+
+import pytest
+
+from repro.core.api import ALREADY_CORRECT, grade_submission
+from repro.problems import get_problem
+from repro.studentgen import generate_corpus
+from repro.studentgen.variants import PROBLEM_FAMILY, VARIANTS, variants_for
+
+
+class TestVariants:
+    @pytest.mark.parametrize("name", sorted(PROBLEM_FAMILY))
+    def test_every_variant_is_correct(self, name):
+        """All alternative solutions must verify against the reference."""
+        problem = get_problem(name)
+        for source in variants_for(name):
+            assert grade_submission(source, problem.spec) == ALREADY_CORRECT, (
+                f"{name} variant is not equivalent:\n{source}"
+            )
+
+    def test_all_families_covered(self):
+        assert set(PROBLEM_FAMILY.values()) <= set(VARIANTS)
+
+
+class TestCorpus:
+    @pytest.fixture(scope="class")
+    def corpus(self):
+        return generate_corpus(
+            get_problem("compDeriv-6.00x"), incorrect_count=10, seed=3
+        )
+
+    def test_sizes(self, corpus):
+        assert len(corpus.incorrect) == 10
+        assert len(corpus.correct) >= 1
+        assert len(corpus.syntax_errors) == 2
+
+    def test_incorrect_really_incorrect(self, corpus):
+        spec = get_problem("compDeriv-6.00x").spec
+        for submission in corpus.incorrect:
+            assert grade_submission(submission.source, spec) == "incorrect"
+
+    def test_origin_mixture(self, corpus):
+        origins = {s.origin for s in corpus.incorrect}
+        assert "mutated" in origins
+        assert "conceptual" in origins or "trivial" in origins
+
+    def test_deterministic(self):
+        problem = get_problem("iterPower-6.00x")
+        first = generate_corpus(problem, incorrect_count=6, seed=5)
+        second = generate_corpus(problem, incorrect_count=6, seed=5)
+        assert [s.source for s in first.incorrect] == [
+            s.source for s in second.incorrect
+        ]
+
+    def test_seeds_differ(self):
+        problem = get_problem("iterPower-6.00x")
+        first = generate_corpus(problem, incorrect_count=6, seed=1)
+        second = generate_corpus(problem, incorrect_count=6, seed=2)
+        assert [s.source for s in first.incorrect] != [
+            s.source for s in second.incorrect
+        ]
+
+    def test_syntax_errors_do_not_parse(self, corpus):
+        from repro.mpy import parse_program
+        from repro.mpy.errors import FrontendError
+
+        for submission in corpus.syntax_errors:
+            with pytest.raises(FrontendError):
+                parse_program(submission.source)
+
+    def test_no_duplicate_incorrect_sources(self, corpus):
+        sources = [s.source for s in corpus.incorrect]
+        assert len(sources) == len(set(sources))
+
+    @pytest.mark.parametrize(
+        "name",
+        ["hangman1-str-6.00x", "stock-market-I", "compBal-stdin-6.00"],
+    )
+    def test_other_problems_generate(self, name):
+        corpus = generate_corpus(get_problem(name), incorrect_count=5, seed=0)
+        assert len(corpus.incorrect) >= 3  # generation budget may trim

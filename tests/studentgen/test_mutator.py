@@ -1,0 +1,78 @@
+"""Tests for the mutation catalog."""
+
+import random
+
+import pytest
+
+from repro.mpy import parse_program, to_source
+from repro.studentgen.mutator import (
+    KIND_WEIGHTS,
+    enumerate_mutations,
+    mutate,
+)
+
+SOURCE = """def computeDeriv(poly):
+    deriv = []
+    i = 1
+    while i < len(poly):
+        deriv.append(poly[i] * i)
+        i += 1
+    if len(poly) == 1:
+        return [0]
+    return deriv
+"""
+
+
+@pytest.fixture
+def module():
+    return parse_program(SOURCE)
+
+
+class TestEnumeration:
+    def test_pool_is_nonempty_and_diverse(self, module):
+        pool = enumerate_mutations(module)
+        kinds = {m.kind for m in pool}
+        assert {"int-literal", "compare-op", "arith-op", "aug-op",
+                "index-shift", "var-swap"} <= kinds
+
+    def test_every_mutation_produces_valid_program(self, module):
+        for mutation in enumerate_mutations(module):
+            mutated = mutation.apply()
+            source = to_source(mutated)
+            parse_program(source)  # must not raise
+
+    def test_every_mutation_changes_the_program(self, module):
+        for mutation in enumerate_mutations(module):
+            assert mutation.apply() != module, mutation.description
+
+    def test_mutations_are_localized(self, module):
+        # A single mutation changes the printed source by a bounded amount.
+        base_lines = to_source(module).splitlines()
+        for mutation in enumerate_mutations(module):
+            mutated_lines = to_source(mutation.apply()).splitlines()
+            differing = sum(
+                1 for a, b in zip(base_lines, mutated_lines) if a != b
+            ) + abs(len(base_lines) - len(mutated_lines))
+            assert differing <= 4, mutation.description
+
+    def test_all_kinds_have_weights(self, module):
+        for mutation in enumerate_mutations(module):
+            assert mutation.kind in KIND_WEIGHTS
+
+
+class TestMutate:
+    def test_deterministic_for_seed(self, module):
+        first = mutate(module, random.Random(42), count=2)
+        second = mutate(module, random.Random(42), count=2)
+        assert to_source(first[0]) == to_source(second[0])
+        assert first[1] == second[1]
+
+    def test_count_respected(self, module):
+        _, defects = mutate(module, random.Random(1), count=3)
+        assert len(defects) == 3
+
+    def test_kind_filter(self, module):
+        _, defects = mutate(
+            module, random.Random(1), count=2, kinds=("int-literal",)
+        )
+        assert all(d.startswith("int-literal") for d in defects)

@@ -1,0 +1,135 @@
+"""Tests for M̃PY choice nodes, instantiation and the hole registry."""
+
+import pytest
+
+from repro.mpy import nodes as N
+from repro.mpy import parse_expression, parse_program
+from repro.mpy.errors import MPYError
+from repro.tilde import (
+    ChoiceCompare,
+    ChoiceExpr,
+    ChoiceStmt,
+    HoleRegistry,
+    collect_choices,
+    instantiate,
+)
+from repro.tilde.nodes import instantiate_block
+
+
+def _choice(cid, *sources):
+    return ChoiceExpr(
+        choices=tuple(parse_expression(s) for s in sources), cid=cid
+    )
+
+
+class TestChoiceNodes:
+    def test_choice_expr_requires_two_branches(self):
+        with pytest.raises(MPYError):
+            ChoiceExpr(choices=(parse_expression("x"),), cid=0)
+
+    def test_choice_compare_rejects_bad_op(self):
+        with pytest.raises(MPYError):
+            ChoiceCompare(
+                ops=("==", "xx"),
+                left=parse_expression("a"),
+                right=parse_expression("b"),
+                cid=0,
+            )
+
+    def test_cid_excluded_from_equality(self):
+        a = _choice(0, "x", "y")
+        b = _choice(5, "x", "y")
+        assert a == b
+
+    def test_arity(self):
+        assert _choice(0, "x", "y", "z").arity == 3
+
+
+class TestInstantiate:
+    def test_default_assignment_returns_original(self):
+        choice = _choice(0, "x", "[0]")
+        stmt = N.Return(value=choice)
+        assert instantiate(stmt, {}) == N.Return(value=parse_expression("x"))
+
+    def test_select_alternative(self):
+        choice = _choice(0, "x", "[0]")
+        stmt = N.Return(value=choice)
+        assert instantiate(stmt, {0: 1}) == N.Return(
+            value=parse_expression("[0]")
+        )
+
+    def test_choice_compare_instantiation(self):
+        node = ChoiceCompare(
+            ops=(">=", "!="),
+            left=parse_expression("i"),
+            right=parse_expression("0"),
+            cid=0,
+        )
+        assert instantiate(node, {}) == parse_expression("i >= 0")
+        assert instantiate(node, {0: 1}) == parse_expression("i != 0")
+
+    def test_nested_choice_instantiation(self):
+        inner = _choice(1, "a", "a + 1")
+        outer = ChoiceExpr(
+            choices=(parse_expression("a"), N.BinOp("-", inner, N.IntLit(1))),
+            cid=0,
+        )
+        assert instantiate(outer, {0: 1, 1: 1}) == parse_expression("a + 1 - 1")
+        # Inner hole ignored when the outer default is selected.
+        assert instantiate(outer, {1: 1}) == parse_expression("a")
+
+    def test_choice_stmt_splices_block(self):
+        base_case = parse_program(
+            "if len(poly) == 1:\n    return [0]\n"
+        ).body[0]
+        choice = ChoiceStmt(choices=((), (base_case,)), cid=0)
+        body = (choice, parse_program("return poly\n").body[0])
+        assert instantiate_block(body, {}) == (
+            parse_program("return poly\n").body[0],
+        )
+        spliced = instantiate_block(body, {0: 1})
+        assert len(spliced) == 2
+        assert spliced[0] == base_case
+
+    def test_module_instantiation(self):
+        module = parse_program("def f(x):\n    return x\n")
+        fn = module.body[0]
+        new_body = (N.Return(value=_choice(0, "x", "x + 1")),)
+        tilde = N.Module(body=(N.FuncDef("f", ("x",), new_body),))
+        result = instantiate(tilde, {0: 1})
+        assert result == parse_program("def f(x):\n    return x + 1\n")
+        assert instantiate(tilde, {}) == module
+
+
+class TestCollectAndRegistry:
+    def test_collect_finds_nested_choices(self):
+        inner = _choice(1, "a", "a + 1")
+        outer = ChoiceExpr(
+            choices=(parse_expression("a"), N.BinOp("-", inner, N.IntLit(1))),
+            cid=0,
+        )
+        module = N.Module(
+            body=(N.FuncDef("f", ("a",), (N.Return(value=outer),)),)
+        )
+        assert {c.cid for c in collect_choices(module)} == {0, 1}
+
+    def test_registry_rebuild_records_nesting(self):
+        inner = _choice(1, "a", "a + 1")
+        outer = ChoiceExpr(
+            choices=(parse_expression("a"), N.BinOp("-", inner, N.IntLit(1))),
+            cid=0,
+        )
+        registry = HoleRegistry().rebuild_from(N.Return(value=outer))
+        assert len(registry) == 2
+        assert registry.info(0).parent is None
+        assert registry.info(1).parent == (0, 1)
+
+    def test_registry_choice_compare_children_share_parent(self):
+        left = _choice(1, "i", "i - 1")
+        node = ChoiceCompare(
+            ops=(">=", "!="), left=left, right=parse_expression("0"), cid=0
+        )
+        registry = HoleRegistry().rebuild_from(node)
+        # Operand choices of a ChoiceCompare are always active: the compare
+        # node itself has no unselected branch hiding them.
+        assert registry.info(1).parent is None

@@ -1,0 +1,273 @@
+"""Tests for the ⟦·⟧ weighted-set semantics — paper Fig. 7 and Fig. 4."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mpy import nodes as N
+from repro.mpy import parse_expression, parse_program
+from repro.tilde import (
+    ChoiceCompare,
+    ChoiceExpr,
+    HoleRegistry,
+    assignment_cost,
+    candidate_count,
+    enumerate_assignments,
+    instantiate,
+    weighted_programs,
+)
+from repro.tilde.semantics import canonical_assignment, weighted_set
+
+
+def _choice(cid, *sources):
+    return ChoiceExpr(
+        choices=tuple(parse_expression(s) for s in sources), cid=cid
+    )
+
+
+class TestWeightedSetBasics:
+    def test_plain_expression_is_singleton_cost_zero(self):
+        # Fig. 7 first equation: [[a]] = {(a, 0)}.
+        expr = parse_expression("x + 1")
+        assert weighted_set(expr) == {expr: 0}
+
+    def test_flat_choice_costs(self):
+        # Fig. 7 second equation: default cost 0, alternatives cost 1.
+        ws = weighted_set(_choice(0, "x", "y", "z"))
+        assert ws == {
+            parse_expression("x"): 0,
+            parse_expression("y"): 1,
+            parse_expression("z"): 1,
+        }
+
+    def test_composite_costs_add(self):
+        # Fig. 7 third equation: [[a0[a1]]] adds constituent costs.
+        expr = N.Index(obj=_choice(0, "x", "y"), index=_choice(1, "i", "i + 1"))
+        ws = weighted_set(expr)
+        assert ws[parse_expression("x[i]")] == 0
+        assert ws[parse_expression("y[i]")] == 1
+        assert ws[parse_expression("x[i + 1]")] == 1
+        assert ws[parse_expression("y[i + 1]")] == 2
+        assert len(ws) == 4
+
+    def test_choice_compare_semantics(self):
+        node = ChoiceCompare(
+            ops=(">=", "!="),
+            left=parse_expression("i"),
+            right=_choice(1, "0", "1"),
+            cid=0,
+        )
+        ws = weighted_set(node)
+        assert ws[parse_expression("i >= 0")] == 0
+        assert ws[parse_expression("i != 0")] == 1
+        assert ws[parse_expression("i >= 1")] == 1
+        assert ws[parse_expression("i != 1")] == 2
+
+    def test_collision_keeps_min_cost(self):
+        # Two paths produce `x`: the default, and an alternative that is
+        # syntactically identical. The union keeps the cheaper one.
+        ws = weighted_set(_choice(0, "x", "x"))
+        assert ws == {parse_expression("x"): 0}
+
+    def test_statement_semantics(self):
+        stmt = N.Return(value=_choice(0, "deriv", "[0]"))
+        ws = weighted_set(stmt)
+        assert ws[N.Return(value=parse_expression("deriv"))] == 0
+        assert ws[N.Return(value=parse_expression("[0]"))] == 1
+
+
+class TestCandidateCount:
+    def test_paper_fig4_count(self):
+        """Paper Section 2.2: the Fig. 4 M̃PY program has 32 candidates."""
+        source = parse_program(
+            """def computeDeriv(poly):
+    deriv = []
+    zero = 0
+    if len(poly) == 1:
+        return deriv
+    for e in range(0, len(poly)):
+        if poly[e] == 0:
+            zero += 1
+        else:
+            deriv.append(poly[e] * e)
+    return deriv
+"""
+        )
+        fn = source.body[0]
+
+        def rewrite(stmt, cid_start=[0]):
+            # Hand-apply the Section 2.1 rules: return→[0], range 0→1,
+            # comparison→False, at the five sites of Fig. 4.
+            return stmt
+
+        # Build Fig. 4 by hand with five binary choice sites.
+        cids = iter(range(5))
+        deriv = parse_expression("deriv")
+        zero_ret = ChoiceExpr(
+            choices=(deriv, parse_expression("[0]")), cid=next(cids)
+        )
+        cond1 = ChoiceExpr(
+            choices=(
+                parse_expression("len(poly) == 1"),
+                parse_expression("False"),
+            ),
+            cid=next(cids),
+        )
+        range_lo = ChoiceExpr(
+            choices=(parse_expression("0"), parse_expression("1")),
+            cid=next(cids),
+        )
+        cond2 = ChoiceExpr(
+            choices=(
+                parse_expression("poly[e] == 0"),
+                parse_expression("False"),
+            ),
+            cid=next(cids),
+        )
+        final_ret = ChoiceExpr(
+            choices=(deriv, parse_expression("[0]")), cid=next(cids)
+        )
+        body = (
+            parse_program("deriv = []\n").body[0],
+            parse_program("zero = 0\n").body[0],
+            N.If(test=cond1, body=(N.Return(value=zero_ret),)),
+            N.For(
+                target=N.Var("e"),
+                iter=N.Call(
+                    func=N.Var("range"),
+                    args=(range_lo, parse_expression("len(poly)")),
+                ),
+                body=(
+                    N.If(
+                        test=cond2,
+                        body=(parse_program("zero += 1\n").body[0],),
+                        orelse=(
+                            parse_program(
+                                "deriv.append(poly[e] * e)\n"
+                            ).body[0],
+                        ),
+                    ),
+                ),
+            ),
+            N.Return(value=final_ret),
+        )
+        module = N.Module(body=(N.FuncDef("computeDeriv", ("poly",), body),))
+        assert candidate_count(module) == 32
+        registry = HoleRegistry().rebuild_from(module)
+        assert len(list(enumerate_assignments(registry))) == 32
+
+    def test_plain_program_has_one_candidate(self):
+        module = parse_program("def f(x):\n    return x\n")
+        assert candidate_count(module) == 1
+
+
+class TestHoleViewAgreesWithWeightedSet:
+    def _assert_agree(self, root):
+        registry = HoleRegistry().rebuild_from(root)
+        by_holes = weighted_programs(root, registry)
+        by_semantics = weighted_set(root)
+        assert by_holes == by_semantics
+
+    def test_flat(self):
+        self._assert_agree(N.Return(value=_choice(0, "x", "y", "[0]")))
+
+    def test_composite(self):
+        expr = N.Index(obj=_choice(0, "x", "y"), index=_choice(1, "i", "i + 1"))
+        self._assert_agree(N.Return(value=expr))
+
+    def test_nested_choice(self):
+        # Cost of the inner hole counts only when the outer alternative
+        # containing it is selected (paper's nested transformations).
+        inner = _choice(1, "a", "a + 1")
+        outer = ChoiceExpr(
+            choices=(
+                parse_expression("a"),
+                N.BinOp(op="-", left=inner, right=N.IntLit(1)),
+            ),
+            cid=0,
+        )
+        self._assert_agree(N.Return(value=outer))
+
+    def test_choice_compare(self):
+        node = ChoiceCompare(
+            ops=(">=", "!=", "<"),
+            left=_choice(1, "i", "i - 1"),
+            right=parse_expression("0"),
+            cid=0,
+        )
+        self._assert_agree(N.Return(value=node))
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.data())
+    def test_random_tilde_trees(self, data):
+        """Property: the two ⟦·⟧ views agree on random small tilde trees."""
+        cid_counter = [0]
+
+        def gen_expr(depth: int):
+            leaf = data.draw(
+                st.sampled_from(["x", "y", "0", "1", "i", "i + 1"])
+            )
+            base = parse_expression(leaf)
+            if depth <= 0:
+                return base
+            kind = data.draw(st.sampled_from(["plain", "choice", "binop"]))
+            if kind == "plain":
+                return base
+            if kind == "binop":
+                return N.BinOp(
+                    op=data.draw(st.sampled_from(["+", "-", "*"])),
+                    left=gen_expr(depth - 1),
+                    right=gen_expr(depth - 1),
+                )
+            arity = data.draw(st.integers(min_value=2, max_value=3))
+            cid = cid_counter[0]
+            cid_counter[0] += 1
+            return ChoiceExpr(
+                choices=tuple(gen_expr(depth - 1) for _ in range(arity)),
+                cid=cid,
+            )
+
+        root = N.Return(value=gen_expr(3))
+        registry = HoleRegistry().rebuild_from(root)
+        if len(registry) > 5:
+            return  # keep enumeration cheap
+        assert weighted_programs(root, registry) == weighted_set(root)
+
+
+class TestAssignmentCost:
+    def test_inactive_hole_costs_nothing(self):
+        inner = _choice(1, "a", "a + 1")
+        outer = ChoiceExpr(
+            choices=(
+                parse_expression("a"),
+                N.BinOp(op="-", left=inner, right=N.IntLit(1)),
+            ),
+            cid=0,
+        )
+        registry = HoleRegistry().rebuild_from(N.Return(value=outer))
+        assert assignment_cost(registry, {0: 1, 1: 1}) == 2
+        assert assignment_cost(registry, {1: 1}) == 0
+        assert assignment_cost(registry, {0: 1}) == 1
+
+    def test_canonicalization_drops_inactive(self):
+        inner = _choice(1, "a", "a + 1")
+        outer = ChoiceExpr(
+            choices=(
+                parse_expression("a"),
+                N.BinOp(op="-", left=inner, right=N.IntLit(1)),
+            ),
+            cid=0,
+        )
+        registry = HoleRegistry().rebuild_from(N.Return(value=outer))
+        assert canonical_assignment(registry, {1: 1}) == {}
+        assert canonical_assignment(registry, {0: 1, 1: 1}) == {0: 1, 1: 1}
+
+    def test_enumerate_with_cost_bound(self):
+        root = N.Return(
+            value=N.BinOp(
+                op="+", left=_choice(0, "x", "y"), right=_choice(1, "i", "j")
+            )
+        )
+        registry = HoleRegistry().rebuild_from(root)
+        bounded = list(enumerate_assignments(registry, max_cost=1))
+        assert all(assignment_cost(registry, a) <= 1 for a in bounded)
+        assert len(bounded) == 3  # {}, {0:1}, {1:1}
