@@ -43,6 +43,65 @@ def test_feedback_time_per_submission(benchmark, name, bench_config):
     assert report.status in ("fixed", "no_fix", "timeout")
 
 
+def test_batch_runner_parallel_speedup(benchmark, bench_config):
+    """Serial vs parallel batch runner on one mid-sized corpus.
+
+    The batch service's headline claim: with ``--jobs 4`` the same corpus
+    grades measurably faster than the serial path (the per-submission
+    solver work is CPU-bound and independent). Caching is disabled on
+    both sides so the comparison times actual solving.
+    """
+    from repro.harness import run_problem
+
+    # recurPower mixes sub-second solves with several multi-second and
+    # budget-exhausting submissions — the shape where parallelism pays.
+    name = "recurPower-6.00x"
+    timeout_s = min(TIMEOUT_S, 10.0)
+    problem = get_problem(name)
+    corpus = generate_corpus(
+        problem, incorrect_count=10, seed=bench_config["seed"]
+    )
+
+    import time
+
+    start = time.monotonic()
+    serial = run_problem(
+        problem, corpus=corpus, timeout_s=timeout_s, jobs=1
+    )
+    serial_s = time.monotonic() - start
+
+    start = time.monotonic()
+    parallel = run_problem(
+        problem, corpus=corpus, timeout_s=timeout_s, jobs=4
+    )
+    parallel_s = time.monotonic() - start
+
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    benchmark.extra_info["serial_s"] = round(serial_s, 2)
+    benchmark.extra_info["parallel_s"] = round(parallel_s, 2)
+    benchmark.extra_info["speedup"] = round(serial_s / max(parallel_s, 1e-9), 2)
+    save_result(
+        "batch_speedup",
+        f"batch runner, {name}, {len(corpus.incorrect)} submissions: "
+        f"serial {serial_s:.2f}s vs --jobs 4 {parallel_s:.2f}s "
+        f"({serial_s / max(parallel_s, 1e-9):.2f}x)",
+    )
+    # Per-submission solver budgets are wall-clock, so worker contention
+    # can push a borderline search over the budget (on few-core machines
+    # especially). Parallelism may therefore *lose* budget-bound results
+    # but must never invent them, and the deterministic categories
+    # (correct, syntax error, ...) must agree exactly.
+    budget_bound = ("fixed", "no_fix", "timeout")
+    for s, p in zip(serial.records, parallel.records):
+        if p.status == "fixed":
+            assert s.status == "fixed"
+        elif p.status in ("no_fix", "timeout"):
+            assert s.status in budget_bound
+        else:
+            assert s.status == p.status
+    assert parallel_s < serial_s
+
+
 def test_table1_rows(benchmark, table1_runs):
     """Regenerate and persist the full Table 1 (paper vs measured)."""
     from repro.harness import format_table1

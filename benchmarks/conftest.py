@@ -5,6 +5,7 @@ Environment knobs (defaults keep a full ``pytest benchmarks/
 
 - ``REPRO_BENCH_CORPUS``  — incorrect submissions per problem (default 10)
 - ``REPRO_BENCH_TIMEOUT`` — per-submission solver budget in s (default 30)
+- ``REPRO_BENCH_JOBS``    — batch-runner worker processes (default 1)
 - ``REPRO_BENCH_PROBLEMS``— comma list of problems, or "all"
   (default: a representative 8-problem subset spanning Table 1)
 """
@@ -19,6 +20,7 @@ import pytest
 CORPUS_SIZE = int(os.environ.get("REPRO_BENCH_CORPUS", "8"))
 TIMEOUT_S = float(os.environ.get("REPRO_BENCH_TIMEOUT", "20"))
 SEED = int(os.environ.get("REPRO_BENCH_SEED", "0"))
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "1"))
 
 DEFAULT_PROBLEMS = [
     "prodBySum-6.00",
@@ -56,6 +58,7 @@ def bench_config():
         "corpus_size": CORPUS_SIZE,
         "timeout_s": TIMEOUT_S,
         "seed": SEED,
+        "jobs": JOBS,
         "problems": PROBLEMS,
     }
 
@@ -70,4 +73,5 @@ def table1_runs(bench_config):
         seed=bench_config["seed"],
         timeout_s=bench_config["timeout_s"],
         problems=bench_config["problems"],
+        jobs=bench_config["jobs"],
     )

@@ -1,3 +1,19 @@
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-feedback",
+    version="0.2.0",
+    description=(
+        "Reproduction of 'Automated Feedback Generation for Introductory "
+        "Programming Assignments' (Singh, Gulwani & Solar-Lezama, PLDI "
+        "2013), with a classroom-scale batch grading service"
+    ),
+    python_requires=">=3.8",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    package_data={"repro.problems": ["emldata/*.eml"]},
+    include_package_data=True,
+    entry_points={
+        "console_scripts": ["repro-feedback=repro.cli:main"],
+    },
+)

@@ -6,12 +6,16 @@ Subcommands:
 - ``grade FILE --problem NAME`` — classify a submission;
 - ``feedback FILE --problem NAME`` — run the full pipeline and print the
   Fig. 2-style feedback block;
+- ``batch DIR --problem NAME`` — grade a directory of submissions through
+  the batch service (parallel workers, result cache, JSONL output,
+  ``--resume`` to continue an interrupted run);
 - ``table1`` — regenerate the Table 1 experiment on synthetic corpora.
 """
 
 from __future__ import annotations
 
 import argparse
+import pathlib
 import sys
 from typing import Optional
 
@@ -71,13 +75,75 @@ def cmd_feedback(args: argparse.Namespace) -> int:
 def cmd_table1(args: argparse.Namespace) -> int:
     from repro.harness import run_table1, format_table1
 
+    if args.jobs < 1:
+        raise SystemExit("--jobs must be >= 1")
     rows = run_table1(
         corpus_size=args.corpus_size,
         seed=args.seed,
         timeout_s=args.timeout,
         problems=args.only,
+        jobs=args.jobs,
     )
     print(format_table1(rows))
+    return 0
+
+
+def cmd_batch(args: argparse.Namespace) -> int:
+    from repro.service import BatchItem, BatchRunner, JobStore, ResultCache
+
+    if args.jobs < 1:
+        raise SystemExit("--jobs must be >= 1")
+    problem = get_problem(args.problem)
+    directory = pathlib.Path(args.directory)
+    if not directory.is_dir():
+        raise SystemExit(f"not a directory: {directory}")
+    paths = sorted(directory.glob(args.pattern))
+    if not paths:
+        raise SystemExit(f"no {args.pattern} files in {directory}")
+    items = [
+        BatchItem(sid=str(path.relative_to(directory)), source=path.read_text())
+        for path in paths
+    ]
+
+    out = pathlib.Path(args.out) if args.out else directory / "results.jsonl"
+    store = JobStore(out)
+    cache = ResultCache(args.cache) if args.cache else ResultCache()
+
+    def progress(done: int, total: int, result) -> None:
+        report = result.report
+        how = (
+            "resumed"
+            if result.resumed
+            else "cached"
+            if result.cached
+            else f"{report.wall_time:.2f}s"
+        )
+        cost = f" cost={report.cost}" if report.cost is not None else ""
+        print(f"[{done}/{total}] {result.sid}: {report.status}{cost} ({how})")
+
+    runner = BatchRunner(
+        problem,
+        jobs=args.jobs,
+        timeout_s=args.timeout,
+        engine=args.engine,
+        cache=cache,
+        store=store,
+        resume=args.resume,
+        progress=progress,
+    )
+    results = runner.run(items)
+    stats = runner.stats
+
+    print(f"\n== batch summary: {problem.name} ==")
+    for status in sorted(stats.by_status):
+        print(f"  {status:16s} {stats.by_status[status]}")
+    print(
+        f"  {len(results)} submissions: {stats.graded} graded, "
+        f"{stats.cache_hits} cache hits, {stats.dedup_hits} duplicates, "
+        f"{stats.resumed} resumed"
+    )
+    print(f"  wall time {stats.wall_time:.2f}s with {args.jobs} job(s)")
+    print(f"  results -> {out}")
     return 0
 
 
@@ -115,10 +181,40 @@ def main(argv: Optional[list] = None) -> int:
         "--show-fix", action="store_true", help="print the corrected program"
     )
 
+    batch = sub.add_parser(
+        "batch", help="grade a directory of submissions in parallel"
+    )
+    batch.add_argument("directory", help="directory of submission files")
+    batch.add_argument("--problem", required=True)
+    batch.add_argument(
+        "--jobs", type=int, default=1, help="parallel worker processes"
+    )
+    batch.add_argument("--timeout", type=float, default=45.0)
+    batch.add_argument(
+        "--engine", default="cegismin", choices=["cegismin", "enumerative"]
+    )
+    batch.add_argument(
+        "--pattern", default="*.py", help="submission filename glob"
+    )
+    batch.add_argument(
+        "--out", default=None, help="JSONL output (default DIR/results.jsonl)"
+    )
+    batch.add_argument(
+        "--cache", default=None, help="persistent result-cache JSON file"
+    )
+    batch.add_argument(
+        "--resume",
+        action="store_true",
+        help="skip submissions already in the JSONL output",
+    )
+
     table1 = sub.add_parser("table1", help="run the Table 1 experiment")
     table1.add_argument("--corpus-size", type=int, default=24)
     table1.add_argument("--seed", type=int, default=0)
     table1.add_argument("--timeout", type=float, default=60.0)
+    table1.add_argument(
+        "--jobs", type=int, default=1, help="parallel worker processes"
+    )
     table1.add_argument(
         "--only", nargs="*", default=None, help="restrict to these problems"
     )
@@ -128,6 +224,7 @@ def main(argv: Optional[list] = None) -> int:
         "problems": cmd_problems,
         "grade": cmd_grade,
         "feedback": cmd_feedback,
+        "batch": cmd_batch,
         "table1": cmd_table1,
     }
     return handlers[args.command](args)

@@ -10,6 +10,8 @@ timeout — Section 5.3).
 from __future__ import annotations
 
 import time
+import weakref
+from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -71,12 +73,28 @@ class FeedbackReport:
         return f"Could not analyze the submission: {self.status} {self.detail}".strip()
 
 
+#: One BoundedVerifier per live ProblemSpec. The mapping is weak on
+#: *both* ends: a verifier strongly references its spec, so a
+#: WeakKeyDictionary holding verifiers directly would keep every key
+#: alive through its own value and never evict (the classic weak-dict
+#: cycle). Instead the dict stores weak refs to verifiers and a small
+#: strong LRU ring keeps the hot ones (and, through them, their specs)
+#: alive; anything that falls out of the ring is collectable and gets
+#: rebuilt on next use.
+_VERIFIERS: "weakref.WeakKeyDictionary[ProblemSpec, weakref.ref]" = (
+    weakref.WeakKeyDictionary()
+)
+_HOT_VERIFIERS: "deque" = deque(maxlen=32)
+
+
 def _verifier_cache(spec: ProblemSpec) -> BoundedVerifier:
-    cache = getattr(spec, "_verifier_cache", None)
-    if cache is None:
-        cache = BoundedVerifier(spec)
-        object.__setattr__(spec, "_verifier_cache", cache)
-    return cache
+    ref = _VERIFIERS.get(spec)
+    verifier = ref() if ref is not None else None
+    if verifier is None:
+        verifier = BoundedVerifier(spec)
+        _VERIFIERS[spec] = weakref.ref(verifier)
+    _HOT_VERIFIERS.append(verifier)
+    return verifier
 
 
 def grade_submission(source: str, spec: ProblemSpec) -> str:

@@ -13,12 +13,12 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core import generate_feedback
 from repro.core.api import FIXED
 from repro.eml.rules import ErrorModel
-from repro.engines import BoundedVerifier, CegisMinEngine
+from repro.engines import BoundedVerifier
 from repro.engines.base import Engine
 from repro.problems import Problem, all_problems, get_problem
+from repro.service.runner import BatchItem, BatchRunner
 from repro.studentgen import Corpus, Submission, generate_corpus
 
 DEFAULT_TIMEOUT = 45.0
@@ -83,36 +83,45 @@ def run_problem(
     engine: Optional[Engine] = None,
     model: Optional[ErrorModel] = None,
     verifier: Optional[BoundedVerifier] = None,
+    jobs: int = 1,
 ) -> ProblemRun:
-    """Run the feedback pipeline over a problem's (synthetic) test set."""
+    """Run the feedback pipeline over a problem's (synthetic) test set.
+
+    The corpus goes through the batch grading service: duplicate (and
+    α-renamed) submissions are solved once, and ``jobs > 1`` fans the
+    distinct ones out over a process pool. ``engine`` instances are a
+    serial-only feature; parallel runs name their engine.
+    """
     if corpus is None:
         corpus = generate_corpus(
             problem, incorrect_count=corpus_size, seed=seed
         )
     if model is None:
         model = problem.model  # NB: an empty ErrorModel is falsy
-    if verifier is None:
-        verifier = BoundedVerifier(problem.spec)
     run = ProblemRun(
         problem=problem.name,
         corpus_correct=len(corpus.correct),
         corpus_syntax=len(corpus.syntax_errors),
     )
-    for submission in corpus.incorrect:
-        report = generate_feedback(
-            submission.source,
-            problem.spec,
-            model,
-            engine=engine or CegisMinEngine(),
-            timeout_s=timeout_s,
-            verifier=verifier,
-        )
+    runner = BatchRunner(
+        problem,
+        model=model,
+        jobs=jobs,
+        timeout_s=timeout_s,
+        engine=engine,
+        verifier=verifier,
+    )
+    items = [
+        BatchItem(sid=f"s{index:04d}", source=submission.source)
+        for index, submission in enumerate(corpus.incorrect)
+    ]
+    for submission, result in zip(corpus.incorrect, runner.run(items)):
         run.records.append(
             SubmissionRecord(
                 origin=submission.origin,
-                status=report.status,
-                cost=report.cost,
-                wall_time=report.wall_time,
+                status=result.report.status,
+                cost=result.report.cost,
+                wall_time=result.report.wall_time,
                 defects=submission.defects,
             )
         )
@@ -129,6 +138,7 @@ def run_table1(
     seed: int = 0,
     timeout_s: float = DEFAULT_TIMEOUT,
     problems: Optional[Sequence[str]] = None,
+    jobs: int = 1,
 ) -> List[Tuple[Problem, ProblemRun]]:
     selected = (
         [get_problem(name) for name in problems]
@@ -138,7 +148,11 @@ def run_table1(
     results = []
     for problem in selected:
         run = run_problem(
-            problem, corpus_size=corpus_size, seed=seed, timeout_s=timeout_s
+            problem,
+            corpus_size=corpus_size,
+            seed=seed,
+            timeout_s=timeout_s,
+            jobs=jobs,
         )
         results.append((problem, run))
     return results

@@ -1,0 +1,39 @@
+"""Batch grading service: the classroom-scale layer over the pipeline.
+
+The paper's tool grades one submission at a time; its evaluation (and any
+classroom deployment) is inherently batch: thousands of submissions per
+problem, many of them near-duplicates — the paper found 260 of 541
+evalPoly attempts sharing one conceptual error, and real corpora are full
+of trivially-reformatted resubmissions. This package turns
+:func:`repro.core.generate_feedback` into a service:
+
+- :mod:`repro.service.canonical` — submission canonicalizer: normalized,
+  α-renamed AST hashing so duplicate and renamed submissions coincide;
+- :mod:`repro.service.cache` — content-addressed result cache keyed by
+  ``(problem, model digest, canonical hash)``;
+- :mod:`repro.service.records` — JSON-serializable feedback records;
+- :mod:`repro.service.jobstore` — JSONL persistence with batch resume;
+- :mod:`repro.service.runner` — parallel batch runner over a process
+  pool with deterministic ordering and progress callbacks.
+"""
+
+from repro.service.cache import ResultCache, cache_key
+from repro.service.canonical import CanonicalForm, canonicalize, model_digest
+from repro.service.jobstore import JobStore
+from repro.service.records import record_to_report, report_to_record
+from repro.service.runner import BatchItem, BatchResult, BatchRunner, BatchStats
+
+__all__ = [
+    "BatchItem",
+    "BatchResult",
+    "BatchRunner",
+    "BatchStats",
+    "CanonicalForm",
+    "JobStore",
+    "ResultCache",
+    "cache_key",
+    "canonicalize",
+    "model_digest",
+    "record_to_report",
+    "report_to_record",
+]

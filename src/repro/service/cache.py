@@ -1,0 +1,130 @@
+"""Content-addressed result cache.
+
+Keys are ``problem:model-digest:canonical-hash``: a cached report is valid
+exactly when the same problem, the same error model, and a behaviorally
+identical submission come back — which in classroom traffic is constantly
+(resubmissions, copied solutions, the one conceptual error half the class
+shares). The cache is in-memory with optional JSON persistence, so a
+long-running service and a one-shot CLI batch share the same format.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.service.records import is_record
+
+_FORMAT_VERSION = 1
+
+
+def cache_key(
+    problem: str,
+    model_digest: str,
+    canonical: str,
+    engine: str = "",
+    timeout_s: Optional[float] = None,
+) -> str:
+    """The content address of one grading result.
+
+    ``engine`` and ``timeout_s`` are part of the address when given: a
+    ``timeout`` record produced under a 5 s budget is *not* a valid
+    answer for a 300 s run, and different engines may produce different
+    (equally minimal) fixes.
+    """
+    extra = ""
+    if engine:
+        extra += f":{engine}"
+    if timeout_s is not None:
+        extra += f":t{timeout_s:g}"
+    return f"{problem}:{model_digest}{extra}:{canonical}"
+
+
+class ResultCache:
+    """In-memory result cache with optional JSON file persistence."""
+
+    def __init__(self, path: Optional[Union[str, Path]] = None):
+        self._entries: Dict[str, dict] = {}
+        self.path = Path(path) if path is not None else None
+        self.hits = 0
+        self.misses = 0
+        if self.path is not None and self.path.exists():
+            self.load(self.path)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._entries
+
+    def get(self, key: str) -> Optional[dict]:
+        """The cached record for ``key``, counting the hit or miss."""
+        record = self._entries.get(key)
+        if record is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return record
+
+    def peek(self, key: str) -> Optional[dict]:
+        """Like :meth:`get` but without touching the statistics."""
+        return self._entries.get(key)
+
+    def put(self, key: str, record: dict) -> None:
+        self._entries[key] = record
+
+    # -- persistence --------------------------------------------------------
+
+    def load(self, path: Union[str, Path]) -> int:
+        """Merge entries from a JSON cache file; returns how many loaded.
+
+        Unreadable files and malformed entries are skipped (a cache must
+        never be the reason a batch fails).
+        """
+        try:
+            payload = json.loads(Path(path).read_text())
+        except (OSError, json.JSONDecodeError):
+            return 0
+        if not isinstance(payload, dict) or payload.get("version") != _FORMAT_VERSION:
+            return 0
+        entries = payload.get("entries", {})
+        loaded = 0
+        if isinstance(entries, dict):
+            for key, record in entries.items():
+                if isinstance(key, str) and is_record(record):
+                    self._entries[key] = record
+                    loaded += 1
+        return loaded
+
+    def save(self, path: Optional[Union[str, Path]] = None) -> Path:
+        """Atomically write the cache to ``path`` (or the ctor path)."""
+        target = Path(path) if path is not None else self.path
+        if target is None:
+            raise ValueError("no cache path given")
+        payload = {"version": _FORMAT_VERSION, "entries": self._entries}
+        target.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp_name = tempfile.mkstemp(
+            dir=str(target.parent), prefix=target.name, suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                json.dump(payload, handle)
+            os.replace(tmp_name, target)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return target
+
+    @property
+    def stats(self) -> dict:
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+        }

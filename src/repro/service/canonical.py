@@ -1,0 +1,162 @@
+"""Submission canonicalization: one hash per behaviorally-identical source.
+
+Classroom corpora are full of textual near-duplicates: resubmissions with
+comments added, whitespace reflowed, or locals renamed. Grading any one of
+them grades them all, so the batch layer keys its cache on a *canonical
+form*: parse with the MPY frontend (comments and formatting disappear),
+normalize the entry-point function name against the problem interface,
+α-rename each function's parameters and locals to a stable ``_cv<N>``
+namespace in first-occurrence order, and pretty-print the result. The
+SHA-256 of that text is the submission's content address.
+
+Submissions the frontend rejects (syntax errors, unsupported features)
+still canonicalize — to a hash of their stripped raw text — so identical
+broken submissions also coincide, just without rename-invariance.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, replace
+from typing import Dict, Optional
+
+from repro.core.rewriter import SignatureError, normalize_submission
+from repro.core.spec import ProblemSpec
+from repro.eml.rules import ErrorModel, InsertTopRule, RewriteRule
+from repro.mpy import nodes as N
+from repro.mpy import parse_program, to_source
+from repro.mpy.errors import FrontendError, MPYError
+
+#: Prefix of the canonical variable namespace. MPY reserves no identifiers,
+#: so a student program could in principle use these names already; the
+#: renamer detects that and falls back to the un-renamed print (a correct,
+#: merely less deduplicating, canonical form).
+_CANON_PREFIX = "_cv"
+
+
+@dataclass(frozen=True)
+class CanonicalForm:
+    """The canonical identity of one submission."""
+
+    digest: str
+    #: The canonical source text the digest covers (raw text for
+    #: submissions that do not parse).
+    text: str
+    #: Whether the frontend accepted the submission (False → text-level
+    #: canonicalization only).
+    parsed: bool
+
+
+def _sha(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def _text_form(source: str) -> CanonicalForm:
+    """Fallback: strip comments/blank lines and trailing whitespace."""
+    lines = []
+    for line in source.splitlines():
+        stripped = line.rstrip()
+        if not stripped or stripped.lstrip().startswith("#"):
+            continue
+        lines.append(stripped)
+    text = "\n".join(lines) + "\n"
+    return CanonicalForm(digest=_sha(text), text=text, parsed=False)
+
+
+def _function_rename_map(fn: N.FuncDef) -> Dict[str, str]:
+    """Parameters and assigned locals, in first-occurrence order."""
+    order = list(fn.params)
+    for node in N.Module(body=fn.body).walk():
+        target = None
+        if isinstance(node, (N.Assign, N.AugAssign, N.For)):
+            target = node.target
+        if isinstance(target, N.Var) and target.name not in order:
+            order.append(target.name)
+        if isinstance(target, N.TupleLit):
+            for elt in target.elts:
+                if isinstance(elt, N.Var) and elt.name not in order:
+                    order.append(elt.name)
+    return {name: f"{_CANON_PREFIX}{i}" for i, name in enumerate(order)}
+
+
+def _rename(node: N.Node, mapping: Dict[str, str]) -> N.Node:
+    node = N.map_children(node, lambda child: _rename(child, mapping))
+    if isinstance(node, N.Var) and node.name in mapping:
+        return replace(node, name=mapping[node.name])
+    if isinstance(node, N.FuncDef):
+        params = tuple(mapping.get(p, p) for p in node.params)
+        if params != node.params:
+            return replace(node, params=params)
+    if isinstance(node, N.Lambda):
+        params = tuple(mapping.get(p, p) for p in node.params)
+        if params != node.params:
+            return replace(node, params=params)
+    return node
+
+
+def alpha_rename(module: N.Module) -> N.Module:
+    """Rename every function's params and locals to the ``_cv`` namespace.
+
+    Function names themselves are kept (they are interface, not style).
+    If the module already uses the canonical namespace, it is returned
+    unchanged — renaming could otherwise merge distinct programs.
+    """
+    for node in module.walk():
+        if isinstance(node, N.Var) and node.name.startswith(_CANON_PREFIX):
+            return module
+
+    def visit(stmt: N.Stmt) -> N.Stmt:
+        if isinstance(stmt, N.FuncDef):
+            mapping = _function_rename_map(stmt)
+            # Never rename references to sibling/global functions.
+            mapping.pop(stmt.name, None)
+            return _rename(stmt, mapping)  # type: ignore[return-value]
+        return stmt
+
+    return replace(module, body=tuple(visit(s) for s in module.body))
+
+
+def canonicalize(
+    source: str, spec: Optional[ProblemSpec] = None
+) -> CanonicalForm:
+    """Compute the canonical form of one submission.
+
+    With a ``spec``, the entry function is first normalized to the
+    problem's expected name (so ``def prodbysum`` and ``def prodBySum``
+    coincide when the fallback locator would accept both); without one,
+    the module is canonicalized as-is.
+    """
+    try:
+        module = parse_program(source)
+    except (FrontendError, MPYError):
+        return _text_form(source)
+    if spec is not None:
+        try:
+            module, _ = normalize_submission(module, spec)
+        except SignatureError:
+            pass  # canonicalize the module as written
+    try:
+        text = to_source(alpha_rename(module))
+    except MPYError:
+        return _text_form(source)
+    return CanonicalForm(digest=_sha(text), text=text, parsed=True)
+
+
+def model_digest(model: ErrorModel) -> str:
+    """A stable digest of an error model's behavior-relevant content.
+
+    Cached results are only valid for the exact rule set that produced
+    them, so the digest covers rule order, names, kinds and sources —
+    editing any rule invalidates every cache entry keyed under the model.
+    """
+    parts = [model.name]
+    for rule in model:
+        if isinstance(rule, RewriteRule):
+            parts.append(f"R:{rule.name}:{rule.source}:{rule.message or ''}")
+        elif isinstance(rule, InsertTopRule):
+            parts.append(
+                f"I:{rule.name}:{rule.body_source}:{rule.message or ''}"
+            )
+        else:  # pragma: no cover - future rule kinds
+            parts.append(f"?:{rule!r}")
+    return _sha("\n".join(parts))[:16]

@@ -1,0 +1,65 @@
+"""JSONL job store: durable per-submission results with batch resume.
+
+Each line is one graded submission::
+
+    {"id": "hw3/alice.py", "key": "<cache key>", "report": {...record...}}
+
+Append-only JSONL means an interrupted batch (Ctrl-C, OOM-killed worker,
+machine reboot) loses at most the in-flight submissions: rerunning with
+``resume`` loads the completed ids and grades only the remainder. Corrupt
+trailing lines — the signature of a crash mid-write — are ignored on load.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.service.records import is_record
+
+
+class JobStore:
+    """Append-only JSONL persistence for one batch job."""
+
+    def __init__(self, path: Union[str, Path]):
+        self.path = Path(path)
+
+    def exists(self) -> bool:
+        return self.path.exists()
+
+    def load(self) -> Dict[str, dict]:
+        """Completed entries keyed by submission id.
+
+        Later lines win (a re-graded submission supersedes its earlier
+        record); malformed lines are skipped.
+        """
+        completed: Dict[str, dict] = {}
+        if not self.path.exists():
+            return completed
+        with self.path.open() as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if (
+                    isinstance(entry, dict)
+                    and isinstance(entry.get("id"), str)
+                    and is_record(entry.get("report"))
+                ):
+                    completed[entry["id"]] = entry
+        return completed
+
+    def append(
+        self, submission_id: str, record: dict, key: Optional[str] = None
+    ) -> None:
+        """Persist one result, flushed so a crash cannot lose it."""
+        entry = {"id": submission_id, "key": key, "report": record}
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        with self.path.open("a") as handle:
+            handle.write(json.dumps(entry) + "\n")
+            handle.flush()

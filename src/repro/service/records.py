@@ -1,0 +1,85 @@
+"""JSON-serializable feedback records.
+
+The process pool, the result cache and the JSONL job store all need a
+flat, picklable/JSON-able view of a :class:`FeedbackReport`. A record
+keeps everything a caller (or a resumed batch) needs — status, cost,
+rendered feedback items, the corrected source — and drops the solver
+internals (``engine_result`` holds live registry references that neither
+serialize nor matter after the run).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.api import FeedbackReport
+from repro.core.feedback import FeedbackItem
+
+#: Schema version stamped into every record; bump when the shape changes
+#: so stale job stores / caches are rejected instead of misread.
+RECORD_VERSION = 1
+
+
+def report_to_record(report: FeedbackReport) -> dict:
+    """Flatten a report to plain JSON types."""
+    return {
+        "v": RECORD_VERSION,
+        "status": report.status,
+        "problem": report.problem,
+        "cost": report.cost,
+        "minimal": report.minimal,
+        "fixed_source": report.fixed_source,
+        "wall_time": report.wall_time,
+        "detail": report.detail,
+        "items": [
+            {
+                "line": item.line,
+                "rule": item.rule,
+                "kind": item.kind,
+                "original": item.original,
+                "replacement": item.replacement,
+                "message": item.message,
+            }
+            for item in report.items
+        ],
+    }
+
+
+def record_to_report(record: dict) -> FeedbackReport:
+    """Rebuild a report (sans engine internals) from a record."""
+    version = record.get("v")
+    if version != RECORD_VERSION:
+        raise ValueError(
+            f"unsupported record version {version!r} "
+            f"(expected {RECORD_VERSION})"
+        )
+    items: List[FeedbackItem] = [
+        FeedbackItem(
+            line=item.get("line"),
+            rule=item.get("rule", ""),
+            kind=item.get("kind", "expression"),
+            original=item.get("original", ""),
+            replacement=item.get("replacement", ""),
+            message=item.get("message", ""),
+        )
+        for item in record.get("items", ())
+    ]
+    return FeedbackReport(
+        status=record["status"],
+        problem=record.get("problem", ""),
+        items=items,
+        cost=record.get("cost"),
+        minimal=record.get("minimal", False),
+        fixed_source=record.get("fixed_source"),
+        wall_time=record.get("wall_time", 0.0),
+        detail=record.get("detail", ""),
+    )
+
+
+def is_record(value: Optional[dict]) -> bool:
+    """Cheap shape check used when reading untrusted stores."""
+    return (
+        isinstance(value, dict)
+        and value.get("v") == RECORD_VERSION
+        and isinstance(value.get("status"), str)
+    )

@@ -1,0 +1,363 @@
+"""Parallel batch runner: the service's execution core.
+
+Grading a corpus decomposes into four stages, each of which removes work
+from the next:
+
+1. **resume** — submissions already in the JSONL job store are loaded,
+   not re-graded;
+2. **canonicalize** — every remaining submission is content-addressed;
+   textual duplicates and α-renamed copies collapse to one address;
+3. **cache** — addresses seen before (this run or a persisted cache)
+   return their record instantly;
+4. **grade** — the surviving *distinct* submissions fan out over a
+   ``ProcessPoolExecutor`` (``jobs=1`` degrades to a serial in-process
+   loop sharing one verifier), each with its own solver budget.
+
+Results always come back in input order regardless of completion order,
+and an optional progress callback fires as each submission settles.
+
+Dedup tradeoff: a duplicate receives its *representative's* report
+verbatim — status, cost and minimality are exact (α-renaming cannot
+change them), but quoted identifiers, line numbers and ``fixed_source``
+are phrased in terms of the representative's text. Such results are
+flagged ``cached=True`` so callers needing letter-perfect feedback for
+every copy can re-render; the classroom payoff (the one conceptual error
+half the class shares is solved once) is why dedup is the default.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Union
+
+from repro.core.api import FeedbackReport, generate_feedback
+
+if TYPE_CHECKING:
+    from repro.engines.verify import BoundedVerifier
+from repro.core.spec import ProblemSpec
+from repro.eml.rules import ErrorModel
+from repro.engines.base import Engine
+from repro.problems.registry import Problem
+from repro.service.cache import ResultCache, cache_key
+from repro.service.canonical import canonicalize, model_digest
+from repro.service.jobstore import JobStore
+from repro.service.records import record_to_report, report_to_record
+
+DEFAULT_TIMEOUT_S = 45.0
+
+#: Callback signature: (settled so far, total, the result that settled).
+ProgressFn = Callable[[int, int, "BatchResult"], None]
+
+
+@dataclass(frozen=True)
+class BatchItem:
+    """One submission in a batch."""
+
+    sid: str
+    source: str
+
+
+@dataclass
+class BatchResult:
+    """The outcome for one submission."""
+
+    sid: str
+    report: FeedbackReport
+    canonical: str
+    #: True when the report came from the cache or from a duplicate
+    #: submission graded earlier in this batch.
+    cached: bool = False
+    #: True when the report was loaded from the job store (resume).
+    resumed: bool = False
+
+
+@dataclass
+class BatchStats:
+    """Work accounting for one :meth:`BatchRunner.run`."""
+
+    total: int = 0
+    graded: int = 0
+    cache_hits: int = 0
+    dedup_hits: int = 0
+    resumed: int = 0
+    wall_time: float = 0.0
+    by_status: Dict[str, int] = field(default_factory=dict)
+
+    def count(self, status: str) -> None:
+        self.by_status[status] = self.by_status.get(status, 0) + 1
+
+
+def _make_engine(name: str) -> Engine:
+    from repro.engines import CegisMinEngine, EnumerativeEngine
+
+    if name == "cegismin":
+        return CegisMinEngine()
+    if name == "enumerative":
+        return EnumerativeEngine()
+    raise ValueError(f"unknown engine {name!r}")
+
+
+# -- process-pool workers ----------------------------------------------------
+#
+# Worker state is primed once per process by the pool initializer: the
+# bounded verifier's reference-outcome table is the expensive part of a
+# grading call, and must not be rebuilt per submission.
+
+_WORKER: dict = {}
+
+
+def _worker_init(
+    spec: ProblemSpec, model: ErrorModel, engine_name: str, timeout_s: float
+) -> None:
+    from repro.engines.verify import BoundedVerifier
+
+    verifier = BoundedVerifier(spec)
+    verifier.inputs  # materialize the reference table up front
+    _WORKER.update(
+        spec=spec,
+        model=model,
+        engine_name=engine_name,
+        timeout_s=timeout_s,
+        verifier=verifier,
+    )
+
+
+def _worker_grade(source: str) -> dict:
+    report = generate_feedback(
+        source,
+        _WORKER["spec"],
+        _WORKER["model"],
+        engine=_make_engine(_WORKER["engine_name"]),
+        timeout_s=_WORKER["timeout_s"],
+        verifier=_WORKER["verifier"],
+    )
+    return report_to_record(report)
+
+
+class BatchRunner:
+    """Grade a batch of submissions for one problem."""
+
+    def __init__(
+        self,
+        problem: Problem,
+        model: Optional[ErrorModel] = None,
+        jobs: int = 1,
+        timeout_s: float = DEFAULT_TIMEOUT_S,
+        engine: Union[str, Engine, None] = None,
+        cache: Optional[ResultCache] = None,
+        store: Optional[JobStore] = None,
+        resume: bool = False,
+        progress: Optional[ProgressFn] = None,
+        verifier: Optional["BoundedVerifier"] = None,
+    ):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if jobs > 1 and isinstance(engine, Engine):
+            raise ValueError(
+                "parallel batches need an engine name ('cegismin' or "
+                "'enumerative'), not an engine instance"
+            )
+        self.problem = problem
+        self.model = model if model is not None else problem.model
+        self.jobs = jobs
+        self.timeout_s = timeout_s
+        self.engine = engine or "cegismin"
+        self.cache = cache if cache is not None else ResultCache()
+        self.store = store
+        self.resume = resume
+        self.progress = progress
+        #: Serial-only override; worker processes build their own verifier.
+        self.verifier = verifier
+        self.stats = BatchStats()
+        self._model_digest = model_digest(self.model)
+        engine_label = (
+            self.engine
+            if isinstance(self.engine, str)
+            else type(self.engine).__name__
+        )
+        #: Everything identity-relevant except the submission itself; a
+        #: stored result is only reusable under the same problem, model,
+        #: engine and solver budget.
+        self._key_prefix = cache_key(
+            self.problem.name,
+            self._model_digest,
+            "",
+            engine=engine_label,
+            timeout_s=self.timeout_s,
+        )
+
+    def _key(self, canonical_digest: str) -> str:
+        return self._key_prefix + canonical_digest
+
+    # -- public API ---------------------------------------------------------
+
+    def run(
+        self, items: Sequence[Union[BatchItem, str]]
+    ) -> List[BatchResult]:
+        """Grade ``items``; results are returned in input order."""
+        started = time.monotonic()
+        batch = [
+            item
+            if isinstance(item, BatchItem)
+            else BatchItem(sid=f"s{index:04d}", source=item)
+            for index, item in enumerate(items)
+        ]
+        self.stats = BatchStats(total=len(batch))
+        results: Dict[int, BatchResult] = {}
+        settled = 0
+
+        def settle(index: int, result: BatchResult) -> None:
+            nonlocal settled
+            results[index] = result
+            self.stats.count(result.report.status)
+            settled += 1
+            if self.progress is not None:
+                self.progress(settled, len(batch), result)
+
+        # Stage 1: resume from the job store. A stored entry only counts
+        # when its key proves it was graded under this same problem,
+        # model, engine and budget — resuming a job store written for a
+        # different configuration must re-grade, not serve wrong reports.
+        completed = self.store.load() if (self.store and self.resume) else {}
+        pending: List[int] = []
+        for index, item in enumerate(batch):
+            entry = completed.get(item.sid)
+            key = str(entry.get("key") or "") if entry is not None else ""
+            if entry is not None and key.startswith(self._key_prefix):
+                self.stats.resumed += 1
+                # Seed the cache so still-pending duplicates of this
+                # submission are served, not re-solved.
+                if self.cache.peek(key) is None:
+                    self.cache.put(key, entry["report"])
+                settle(
+                    index,
+                    BatchResult(
+                        sid=item.sid,
+                        report=record_to_report(entry["report"]),
+                        canonical=key,
+                        cached=True,
+                        resumed=True,
+                    ),
+                )
+            else:
+                pending.append(index)
+
+        # Stage 2: canonicalize and collapse duplicates.
+        keys: Dict[int, str] = {}
+        by_key: Dict[str, List[int]] = {}
+        for index in pending:
+            form = canonicalize(batch[index].source, self.problem.spec)
+            key = self._key(form.digest)
+            keys[index] = key
+            by_key.setdefault(key, []).append(index)
+
+        # Stage 3: serve cache hits (every duplicate of a hit is a hit).
+        to_grade: List[int] = []
+        for key, indices in by_key.items():
+            record = self.cache.get(key)
+            if record is not None:
+                self.stats.cache_hits += len(indices)
+                for index in indices:
+                    self._store_and_settle(
+                        settle, batch, index, key, record, cached=True
+                    )
+            else:
+                to_grade.append(indices[0])
+
+        # Stage 4: grade one representative per distinct submission.
+        for index, record in self._grade(batch, to_grade):
+            key = keys[index]
+            self.cache.put(key, record)
+            clones = by_key[key]
+            self.stats.graded += 1
+            self.stats.dedup_hits += len(clones) - 1
+            for clone in clones:
+                self._store_and_settle(
+                    settle, batch, clone, key, record, cached=clone != index
+                )
+
+        self.stats.wall_time = time.monotonic() - started
+        if self.cache.path is not None:
+            self.cache.save()
+        return [results[index] for index in range(len(batch))]
+
+    # -- internals ----------------------------------------------------------
+
+    def _store_and_settle(
+        self,
+        settle: Callable[[int, BatchResult], None],
+        batch: List[BatchItem],
+        index: int,
+        key: str,
+        record: dict,
+        cached: bool,
+    ) -> None:
+        item = batch[index]
+        if self.store is not None:
+            self.store.append(item.sid, record, key=key)
+        settle(
+            index,
+            BatchResult(
+                sid=item.sid,
+                report=record_to_report(record),
+                canonical=key,
+                cached=cached,
+            ),
+        )
+
+    def _grade(self, batch, indices):
+        """Yield ``(index, record)`` for each representative, as graded."""
+        if not indices:
+            return
+        if self.jobs == 1:
+            yield from self._grade_serial(batch, indices)
+        else:
+            yield from self._grade_parallel(batch, indices)
+
+    def _grade_serial(self, batch, indices):
+        from repro.core.api import _verifier_cache
+
+        spec = self.problem.spec
+        verifier = self.verifier or _verifier_cache(spec)
+        engine = self.engine
+        for index in indices:
+            report = generate_feedback(
+                batch[index].source,
+                spec,
+                self.model,
+                engine=engine
+                if isinstance(engine, Engine)
+                else _make_engine(engine),
+                timeout_s=self.timeout_s,
+                verifier=verifier,
+            )
+            yield index, report_to_record(report)
+
+    def _grade_parallel(self, batch, indices):
+        engine_name = (
+            self.engine if isinstance(self.engine, str) else "cegismin"
+        )
+        workers = min(self.jobs, len(indices))
+        with ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_worker_init,
+            initargs=(
+                self.problem.spec,
+                self.model,
+                engine_name,
+                self.timeout_s,
+            ),
+        ) as pool:
+            futures = {
+                pool.submit(_worker_grade, batch[index].source): index
+                for index in indices
+            }
+            outstanding = set(futures)
+            while outstanding:
+                done, outstanding = wait(
+                    outstanding, return_when=FIRST_COMPLETED
+                )
+                for future in done:
+                    yield futures[future], future.result()

@@ -127,3 +127,38 @@ class TestReportShape:
     def test_timing_recorded(self):
         report = feedback("def double(x):\n    return x * 3\n")
         assert report.wall_time > 0
+
+
+class TestVerifierCache:
+    def test_same_spec_shares_a_verifier(self):
+        from repro.core.api import _verifier_cache
+
+        assert _verifier_cache(SPEC) is _verifier_cache(SPEC)
+
+    def test_spec_is_not_mutated(self):
+        from repro.core.api import _verifier_cache
+
+        _verifier_cache(SPEC)
+        assert not hasattr(SPEC, "_verifier_cache")
+
+    def test_cold_entries_are_collectable(self):
+        # The weak mapping must not pin specs through their verifiers:
+        # once a verifier leaves the hot ring and the spec is dropped,
+        # both are collected (the WeakKeyDictionary value->key pitfall).
+        import gc
+
+        from repro.core.api import _HOT_VERIFIERS, _VERIFIERS, _verifier_cache
+        from repro.mpy.values import Bounds
+
+        spec = ProblemSpec.from_typed_reference(
+            "triple",
+            "def triple(x_int):\n    return x_int * 3\n",
+            bounds=Bounds(int_bits=3),
+        )
+        _verifier_cache(spec)
+        assert any(v.spec is spec for v in _HOT_VERIFIERS)
+        before = len(_VERIFIERS)
+        _HOT_VERIFIERS.clear()
+        del spec
+        gc.collect()
+        assert len(_VERIFIERS) < before

@@ -1,0 +1,92 @@
+"""Result cache and record serialization tests."""
+
+import json
+
+import pytest
+
+from repro.core.api import FeedbackReport
+from repro.core.feedback import FeedbackItem
+from repro.service import ResultCache, cache_key, record_to_report, report_to_record
+
+
+def _record(status="fixed", cost=1):
+    return report_to_record(
+        FeedbackReport(
+            status=status,
+            problem="iterPower-6.00x",
+            items=[
+                FeedbackItem(
+                    line=2,
+                    rule="INITR",
+                    kind="expression",
+                    original="result = 0",
+                    replacement="result = 1",
+                    message="In line 2, the accumulator is initialized incorrectly.",
+                )
+            ],
+            cost=cost,
+            minimal=True,
+            fixed_source="def iterPower(base, exp):\n    return base ** exp\n",
+            wall_time=0.5,
+        )
+    )
+
+
+class TestRecords:
+    def test_roundtrip(self):
+        report = record_to_report(_record())
+        assert report.status == "fixed"
+        assert report.cost == 1
+        assert report.minimal
+        assert report.items[0].rule == "INITR"
+        assert "return base ** exp" in report.fixed_source
+        assert "1 change" in report.render()
+
+    def test_version_mismatch_rejected(self):
+        bad = _record()
+        bad["v"] = 999
+        with pytest.raises(ValueError):
+            record_to_report(bad)
+
+
+class TestResultCache:
+    def test_hit_and_miss_accounting(self):
+        cache = ResultCache()
+        key = cache_key("p", "m", "c")
+        assert cache.get(key) is None
+        cache.put(key, _record())
+        assert cache.get(key)["status"] == "fixed"
+        assert cache.hits == 1 and cache.misses == 1
+        assert len(cache) == 1 and key in cache
+
+    def test_save_and_load_roundtrip(self, tmp_path):
+        path = tmp_path / "cache.json"
+        cache = ResultCache(path)
+        cache.put(cache_key("p", "m", "c"), _record())
+        cache.save()
+        fresh = ResultCache(path)
+        assert len(fresh) == 1
+        assert fresh.peek(cache_key("p", "m", "c"))["cost"] == 1
+
+    def test_corrupt_file_ignored(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text("{ not json")
+        assert len(ResultCache(path)) == 0
+
+    def test_wrong_version_ignored(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text(json.dumps({"version": 99, "entries": {"k": _record()}}))
+        assert len(ResultCache(path)) == 0
+
+    def test_malformed_entries_skipped(self, tmp_path):
+        path = tmp_path / "cache.json"
+        path.write_text(
+            json.dumps(
+                {"version": 1, "entries": {"good": _record(), "bad": {"x": 1}}}
+            )
+        )
+        assert len(ResultCache(path)) == 1
+
+    def test_save_without_path_raises(self):
+        with pytest.raises(ValueError):
+            ResultCache().save()

@@ -1,0 +1,96 @@
+"""Canonicalizer tests: the dedup backbone of the batch service."""
+
+from repro.problems import get_problem
+from repro.service import canonicalize, model_digest
+from repro.service.canonical import alpha_rename
+from repro.mpy import parse_program, to_source
+
+SPEC = get_problem("iterPower-6.00x").spec
+
+BASE = """def iterPower(base, exp):
+    result = 0
+    for i in range(exp):
+        result = result * base
+    return result
+"""
+
+#: BASE with every local renamed, comments added and formatting changed.
+RENAMED = """def iterPower(b, e):
+    # my solution!!
+    acc = 0
+
+    for counter in range(e):
+        acc = acc  *  b
+    return acc
+"""
+
+#: Same shape, different semantics (initializer 1, the correct program).
+DIFFERENT = """def iterPower(base, exp):
+    result = 1
+    for i in range(exp):
+        result = result * base
+    return result
+"""
+
+
+class TestCanonicalize:
+    def test_renamed_and_reformatted_coincide(self):
+        a = canonicalize(BASE, SPEC)
+        b = canonicalize(RENAMED, SPEC)
+        assert a.parsed and b.parsed
+        assert a.digest == b.digest
+        assert a.text == b.text
+
+    def test_semantically_different_distinguished(self):
+        assert canonicalize(BASE, SPEC).digest != canonicalize(DIFFERENT, SPEC).digest
+
+    def test_misnamed_entry_function_normalizes(self):
+        # The rewriter's fallback locator accepts a sole top-level def, so
+        # a typo'd name grades identically — and must cache identically.
+        typoed = BASE.replace("def iterPower", "def iterpower")
+        assert canonicalize(typoed, SPEC).digest == canonicalize(BASE, SPEC).digest
+
+    def test_without_spec_names_stay(self):
+        typoed = BASE.replace("def iterPower", "def iterpower")
+        assert canonicalize(typoed).digest != canonicalize(BASE).digest
+
+    def test_syntax_error_falls_back_to_text(self):
+        broken = "def iterPower(base exp):\n    return\n"
+        form = canonicalize(broken, SPEC)
+        assert not form.parsed
+        assert form.digest == canonicalize(broken, SPEC).digest
+
+    def test_syntax_error_comment_invariance(self):
+        a = canonicalize("def f(:\n    pass\n", SPEC)
+        b = canonicalize("# header\ndef f(:\n    pass\n", SPEC)
+        assert a.digest == b.digest
+
+    def test_existing_canonical_names_not_rewritten(self):
+        source = "def f(_cv0):\n    return _cv0\n"
+        module = parse_program(source)
+        assert alpha_rename(module) is module
+
+    def test_alpha_rename_keeps_semantics(self):
+        module = parse_program(BASE)
+        renamed = to_source(alpha_rename(module))
+        assert "result" not in renamed
+        assert "_cv0" in renamed
+        # Recursive/global function references survive.
+        rec = "def f(n):\n    if n == 0:\n        return 1\n    return f(n - 1)\n"
+        assert "f(" in to_source(alpha_rename(parse_program(rec)))
+
+
+class TestModelDigest:
+    def test_stable_for_same_model(self):
+        problem = get_problem("iterPower-6.00x")
+        assert model_digest(problem.model) == model_digest(problem.model)
+
+    def test_changes_when_rules_change(self):
+        problem = get_problem("iterPower-6.00x")
+        full = model_digest(problem.model)
+        assert full != model_digest(problem.model.prefix(1))
+
+    def test_differs_across_problems(self):
+        a = model_digest(get_problem("iterPower-6.00x").model)
+        b = model_digest(get_problem("recurPower-6.00x").model)
+        assert a != b
