@@ -1,31 +1,189 @@
-"""Substrate micro-benchmarks: interpreter, SAT solver, transformer.
+"""Substrate micro-benchmarks: execution backends, SAT solver, transformer.
 
 Not a paper artifact, but the quantities every experiment above is built
 from — regressions here show up multiplied by corpus sizes.
+
+The execution-backend benchmarks all drive the *same workload* (the
+computeDeriv reference on ``[3, -2, 1]``) through the three substrate
+shapes the engines use:
+
+- ``interp_fresh``     — tree-walker, fresh interpreter per run (the
+  stateful-module path);
+- ``interp``           — tree-walker, interpreter reused across runs (the
+  engines' default interpreter hot loop);
+- ``compiled``         — the closure-compiled backend, lowered once.
+
+Plus the CEGIS-shaped pair (``candidate_interp`` / ``candidate_compiled``)
+that alternates hole assignments between runs — the loop Table 1 spends
+its time in. A session finalizer writes every mean to
+``BENCH_substrate.json`` at the repo root so the perf trajectory is
+tracked PR-over-PR, and the final test enforces the compiled backend's
+contract: ≥3x the reused tree-walker on the same workload.
 """
 
+import json
+import pathlib
 import random
+import time
 
 import pytest
 
-from repro.eml import apply_error_model
+from repro.compile import compile_program
+from repro.core.rewriter import rewrite_submission
+from repro.eml import apply_error_model, parse_error_model
 from repro.mpy import parse_program, run_function
+from repro.mpy.interp import Interpreter
 from repro.problems import get_problem
 from repro.sat import SAT, CountingNetwork, Solver
+from repro.symbolic.recorder import RecordingInterpreter
 
 DERIV = get_problem("compDeriv-6.00x")
+WORKLOAD_ARGS = ([3, -2, 1],)
+EXPECTED = [-2, 2]
+
+_SUBSTRATE_RESULTS: dict = {}
+_BENCH_JSON = pathlib.Path(__file__).resolve().parent.parent / (
+    "BENCH_substrate.json"
+)
+
+
+def _record(name: str, benchmark) -> None:
+    _SUBSTRATE_RESULTS[name] = {
+        "mean_s": benchmark.stats.stats.mean,
+        "ops_per_s": 1.0 / benchmark.stats.stats.mean,
+        "rounds": benchmark.stats.stats.rounds,
+    }
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _write_substrate_json():
+    yield
+    if not _SUBSTRATE_RESULTS:
+        return
+    payload = {
+        "workload": (
+            f"{DERIV.name} reference, args={WORKLOAD_ARGS!r}, plus the "
+            "Fig. 2 candidate space under alternating hole assignments"
+        ),
+        "unix_time": time.time(),
+        "timings": _SUBSTRATE_RESULTS,
+    }
+    speedups = {}
+    pairs = [
+        ("interp", "compiled", "compiled_vs_interp_reuse"),
+        ("interp_fresh", "compiled", "compiled_vs_interp_fresh"),
+        ("candidate_interp", "candidate_compiled", "candidate_switch"),
+    ]
+    for slow, fast, label in pairs:
+        if slow in _SUBSTRATE_RESULTS and fast in _SUBSTRATE_RESULTS:
+            speedups[label] = (
+                _SUBSTRATE_RESULTS[slow]["mean_s"]
+                / _SUBSTRATE_RESULTS[fast]["mean_s"]
+            )
+    payload["speedups"] = speedups
+    _BENCH_JSON.write_text(json.dumps(payload, indent=2) + "\n")
 
 
 def test_interpreter_throughput(benchmark):
+    """Tree-walker, fresh interpreter per run (stateful-module shape)."""
     module = parse_program(DERIV.spec.reference_source)
 
     def run():
-        return run_function(
-            module, DERIV.spec.function, ([3, -2, 1, 4][:3],)
-        ).value
+        return run_function(module, DERIV.spec.function, WORKLOAD_ARGS).value
 
     result = benchmark(run)
-    assert result == [-2, 2]
+    assert result == EXPECTED
+    _record("interp_fresh", benchmark)
+
+
+def test_interpreter_reuse_throughput(benchmark):
+    """Tree-walker, one interpreter reused (the engines' interp path)."""
+    module = parse_program(DERIV.spec.reference_source)
+    interp = Interpreter(module)
+
+    def run():
+        return interp.call(DERIV.spec.function, WORKLOAD_ARGS).value
+
+    result = benchmark(run)
+    assert result == EXPECTED
+    _record("interp", benchmark)
+
+
+def test_compiled_throughput(benchmark):
+    """Closure-compiled backend: lowered once, run at closure speed."""
+    module = parse_program(DERIV.spec.reference_source)
+    program = compile_program(module)
+
+    def run():
+        return program.call(DERIV.spec.function, WORKLOAD_ARGS).value
+
+    result = benchmark(run)
+    assert result == EXPECTED
+    _record("compiled", benchmark)
+
+
+def _fig2_candidate_space():
+    model = parse_error_model(
+        """
+rule RETR: return a -> return [0]
+rule RANR: range(a1, a2) -> range(a1 + 1, a2)
+rule COMPR: a0 == a1 -> False
+"""
+    )
+    module = parse_program(DERIV.spec.reference_source)
+    tilde, registry = rewrite_submission(module, DERIV.spec, model)
+    holes = sorted(info.cid for info in registry.holes())
+    # Alternate between the default program and single-hole flips — the
+    # candidate-switching pattern of the CEGIS synthesis loop.
+    assignments = [{}] + [{cid: 1} for cid in holes[:3]]
+    return tilde, assignments
+
+
+def test_candidate_switch_interp(benchmark):
+    """RecordingInterpreter sweeping candidates (tree-walker hot loop)."""
+    tilde, assignments = _fig2_candidate_space()
+    interp = RecordingInterpreter(tilde, {}, fuel=DERIV.spec.fuel)
+    fn = DERIV.spec.student_function
+
+    def run():
+        total = 0
+        for assignment in assignments:
+            result = interp.run(fn, WORKLOAD_ARGS, assignment=assignment)
+            total += len(result.value)
+        return total
+
+    benchmark(run)
+    _record("candidate_interp", benchmark)
+
+
+def test_candidate_switch_compiled(benchmark):
+    """Compiled backend: candidate switch is an assignment-array write."""
+    tilde, assignments = _fig2_candidate_space()
+    program = compile_program(tilde, fuel=DERIV.spec.fuel)
+    fn = DERIV.spec.student_function
+
+    def run():
+        total = 0
+        for assignment in assignments:
+            result = program.run(fn, WORKLOAD_ARGS, assignment=assignment)
+            total += len(result.value)
+        return total
+
+    benchmark(run)
+    _record("candidate_compiled", benchmark)
+
+
+def test_compiled_speedup_contract():
+    """The backend's reason to exist: ≥3x the reused tree-walker."""
+    if "interp" not in _SUBSTRATE_RESULTS or (
+        "compiled" not in _SUBSTRATE_RESULTS
+    ):
+        pytest.skip("throughput benchmarks were deselected")
+    speedup = (
+        _SUBSTRATE_RESULTS["interp"]["mean_s"]
+        / _SUBSTRATE_RESULTS["compiled"]["mean_s"]
+    )
+    assert speedup >= 3.0, f"compiled backend only {speedup:.2f}x"
 
 
 def test_transformer_throughput(benchmark):

@@ -15,6 +15,7 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.compile import make_executor
 from repro.core.feedback import (
     FeedbackGenerator,
     FeedbackItem,
@@ -28,8 +29,7 @@ from repro.engines.base import Engine, EngineResult
 from repro.engines.cegismin import CegisMinEngine
 from repro.engines.verify import BoundedVerifier, outcome_of
 from repro.mpy import parse_program, to_source
-from repro.mpy.errors import FrontendError, UnsupportedFeature
-from repro.mpy.interp import Interpreter
+from repro.mpy.errors import FrontendError, MPYRuntimeError, UnsupportedFeature
 from repro.tilde.nodes import instantiate
 
 # Report statuses (the paper's test-set categories).
@@ -117,11 +117,18 @@ def grade_submission(source: str, spec: ProblemSpec) -> str:
     except SignatureError:
         return BAD_SIGNATURE
     verifier = _verifier_cache(spec)
-    interp = Interpreter(normalized, fuel=spec.fuel)
+    try:
+        # The tree-walker executes top-level statements eagerly here; a
+        # submission whose top level raises can never be equivalent, and
+        # the compiled backend reaches the same classification through
+        # per-call error outcomes below.
+        executor = make_executor(normalized, fuel=spec.fuel)
+    except MPYRuntimeError:
+        return "incorrect"
 
     def run(args):
         return outcome_of(
-            lambda: interp.call(spec.student_function, args),
+            lambda: executor.call(spec.student_function, args),
             spec.compare_stdout,
         )
 

@@ -33,6 +33,7 @@ from typing import TYPE_CHECKING
 import time
 from typing import Dict, List, Optional, Tuple
 
+from repro.compile import COMPILED, compile_program, resolve_backend
 from repro.engines.base import (
     FIXED,
     NO_FIX,
@@ -57,18 +58,40 @@ def _has_top_level_state(module: N.Module) -> bool:
 
 
 class _CandidateRunner:
-    """Runs the M̃PY module under assignments, reusing the interpreter when
-    the module carries no top-level state."""
+    """Runs the M̃PY module under assignments.
 
-    def __init__(self, tilde: N.Module, function: str, fuel: int):
+    Under the default ``compiled`` backend the module is lowered to
+    closures exactly once; switching candidates is an assignment-array
+    write (zero recompilation). The ``interp`` backend is the tree-walker
+    escape hatch, reusing one interpreter when the module carries no
+    top-level state.
+    """
+
+    def __init__(
+        self,
+        tilde: N.Module,
+        function: str,
+        fuel: int,
+        backend: Optional[str] = None,
+    ):
         self.tilde = tilde
         self.function = function
         self.fuel = fuel
+        self.backend = resolve_backend(backend)
         self.stateful = _has_top_level_state(tilde)
         self._interp: Optional[RecordingInterpreter] = None
+        self._program = (
+            compile_program(tilde, fuel=fuel)
+            if self.backend == COMPILED
+            else None
+        )
 
     def run(self, assignment: Dict[int, int], args: tuple):
         """Returns (RunResult-or-exception outcome is built by caller)."""
+        if self._program is not None:
+            return self._program.run(
+                self.function, args, assignment=assignment
+            )
         if self.stateful or self._interp is None:
             self._interp = RecordingInterpreter(
                 self.tilde, assignment, fuel=self.fuel
@@ -77,6 +100,8 @@ class _CandidateRunner:
         return self._interp.run(self.function, args, assignment=assignment)
 
     def cube(self) -> Dict[int, int]:
+        if self._program is not None:
+            return self._program.cube()
         assert self._interp is not None
         return self._interp.cube()
 

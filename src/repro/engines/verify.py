@@ -21,8 +21,9 @@ from typing import TYPE_CHECKING
 import time
 from typing import Callable, Iterable, List, Optional, Tuple
 
+from repro.compile import make_executor
 from repro.mpy.errors import MPYRuntimeError
-from repro.mpy.interp import Interpreter, RunResult
+from repro.mpy.interp import RunResult
 
 if TYPE_CHECKING:
     from repro.core.spec import ProblemSpec
@@ -104,11 +105,20 @@ def hashable_args(args: tuple):
 
 
 class BoundedVerifier:
-    """Precomputed reference outcomes + candidate sweeps for one problem."""
+    """Precomputed reference outcomes + candidate sweeps for one problem.
 
-    def __init__(self, spec: ProblemSpec):
+    ``backend`` selects the reference-side execution substrate (compiled
+    closures by default; ``None`` defers to the process-wide default).
+    """
+
+    def __init__(self, spec: ProblemSpec, backend: Optional[str] = None):
         self.spec = spec
+        self.backend = backend
         self._inputs: Optional[List[tuple]] = None
+        #: ``(args, frozen key, expected outcome)`` triples, parallel to
+        #: ``self._inputs`` — keys are computed once here so candidate
+        #: sweeps never re-freeze inputs.
+        self._triples: List[tuple] = []
         self._expected: dict = {}
         self._max_reference_steps = 0
 
@@ -117,8 +127,10 @@ class BoundedVerifier:
     def _materialize(self) -> None:
         if self._inputs is not None:
             return
-        reference = Interpreter(
-            self.spec.reference_module(), fuel=self.spec.fuel
+        reference = make_executor(
+            self.spec.reference_module(),
+            fuel=self.spec.fuel,
+            backend=self.backend,
         )
         inputs: List[tuple] = []
         for args in sorted(self.spec.input_space(), key=_input_size_key):
@@ -131,8 +143,10 @@ class BoundedVerifier:
             )
             if outcome[0] == ERROR:
                 continue  # outside the problem's precondition
+            key = hashable_args(args)
             inputs.append(args)
-            self._expected[hashable_args(args)] = outcome
+            self._triples.append((args, key, outcome))
+            self._expected[key] = outcome
         self._inputs = inputs
 
     @property
@@ -185,14 +199,13 @@ class BoundedVerifier:
             seen.add(key)
             if not outcomes_match(self._expected[key], run(args)):
                 return args
-        for index, args in enumerate(self.inputs):
+        for index, (args, key, expected) in enumerate(self._triples):
             if deadline is not None and index % 256 == 0:
                 if time.monotonic() > deadline:
                     raise TimeoutError("verification deadline exceeded")
-            key = hashable_args(args)
             if key in seen:
                 continue
-            if not outcomes_match(self._expected[key], run(args)):
+            if not outcomes_match(expected, run(args)):
                 return args
         return None
 

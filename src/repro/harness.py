@@ -84,13 +84,15 @@ def run_problem(
     model: Optional[ErrorModel] = None,
     verifier: Optional[BoundedVerifier] = None,
     jobs: int = 1,
+    backend: Optional[str] = None,
 ) -> ProblemRun:
     """Run the feedback pipeline over a problem's (synthetic) test set.
 
     The corpus goes through the batch grading service: duplicate (and
     α-renamed) submissions are solved once, and ``jobs > 1`` fans the
     distinct ones out over a process pool. ``engine`` instances are a
-    serial-only feature; parallel runs name their engine.
+    serial-only feature; parallel runs name their engine. ``backend``
+    selects the execution substrate (compiled closures by default).
     """
     if corpus is None:
         corpus = generate_corpus(
@@ -110,6 +112,7 @@ def run_problem(
         timeout_s=timeout_s,
         engine=engine,
         verifier=verifier,
+        backend=backend,
     )
     items = [
         BatchItem(sid=f"s{index:04d}", source=submission.source)
@@ -139,6 +142,7 @@ def run_table1(
     timeout_s: float = DEFAULT_TIMEOUT,
     problems: Optional[Sequence[str]] = None,
     jobs: int = 1,
+    backend: Optional[str] = None,
 ) -> List[Tuple[Problem, ProblemRun]]:
     selected = (
         [get_problem(name) for name in problems]
@@ -153,6 +157,7 @@ def run_table1(
             seed=seed,
             timeout_s=timeout_s,
             jobs=jobs,
+            backend=backend,
         )
         results.append((problem, run))
     return results

@@ -119,6 +119,9 @@ class Closure:
     params: Tuple[str, ...]
     body: Tuple[N.Stmt, ...]
     env: Env
+    #: ``assigned_names(body)``, computed once at definition time. ``None``
+    #: (a hand-built closure) lazily falls back to recomputation on call.
+    declared: Optional[frozenset] = None
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<closure {self.name}/{len(self.params)}>"
@@ -204,7 +207,10 @@ class Interpreter:
             if self.depth > MAX_RECURSION:
                 self.depth -= 1
                 raise MPYRuntimeError("maximum recursion depth exceeded")
-            env = Env(parent=fn.env, declared=assigned_names(fn.body))
+            declared = fn.declared
+            if declared is None:
+                declared = assigned_names(fn.body)
+            env = Env(parent=fn.env, declared=declared)
             for param, arg in zip(fn.params, args):
                 env.assign(param, arg)
             try:
@@ -295,7 +301,13 @@ class Interpreter:
     def exec_FuncDef(self, stmt: N.FuncDef, env: Env) -> None:
         env.assign(
             stmt.name,
-            Closure(name=stmt.name, params=stmt.params, body=stmt.body, env=env),
+            Closure(
+                name=stmt.name,
+                params=stmt.params,
+                body=stmt.body,
+                env=env,
+                declared=assigned_names(stmt.body),
+            ),
         )
 
     # -- assignment targets -------------------------------------------------
@@ -473,6 +485,7 @@ class Interpreter:
             params=expr.params,
             body=(N.Return(value=expr.body),),
             env=env,
+            declared=frozenset(),
         )
 
     # -- operator semantics ---------------------------------------------------
@@ -684,7 +697,12 @@ class Interpreter:
 def _type_name(value) -> str:
     if value is None:
         return "NoneType"
-    if isinstance(value, Closure) or isinstance(value, BuiltinFunction):
+    # The _mpy_function marker lets other execution backends (the closure
+    # compiler's function values) share these exact error messages.
+    if (
+        isinstance(value, (Closure, BuiltinFunction))
+        or getattr(value, "_mpy_function", False)
+    ):
         return "function"
     return type(value).__name__
 

@@ -10,7 +10,10 @@ Implemented techniques:
 - two-watched-literal propagation,
 - first-UIP conflict analysis with learned-clause minimization (self-
   subsumption against the reason graph),
-- VSIDS-style exponential variable activities with rescaling,
+- VSIDS-style exponential variable activities with rescaling, served by a
+  lazy max-heap order (stale entries skipped on pop; unassigned variables
+  re-inserted on backtrack — MiniSat's order-heap scheme) instead of an
+  O(num_vars) scan per decision,
 - Luby-sequence restarts,
 - phase saving with caller-settable preferred polarities (the synthesis
   encoding biases correction holes toward their zero-cost defaults).
@@ -18,7 +21,8 @@ Implemented techniques:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+import heapq
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 SAT = "sat"
 UNSAT = "unsat"
@@ -56,6 +60,11 @@ class Solver:
         self.phase: List[bool] = [False]
         self.trail: List[int] = []
         self.trail_lim: List[int] = []
+        #: Lazy VSIDS order heap: ``(-activity, var)`` entries. An entry is
+        #: stale when its recorded activity no longer matches the
+        #: variable's (a bump pushed a fresher one); pops skip stale and
+        #: assigned entries, and backtracking re-inserts unassigned vars.
+        self._order: List[Tuple[float, int]] = []
         self.prop_head = 0
         self.restart_base = restart_base
         self.decay = decay
@@ -78,6 +87,7 @@ class Solver:
         self.reason.append(None)
         self.activity.append(0.0)
         self.phase.append(preferred)
+        heapq.heappush(self._order, (-0.0, self.num_vars))
         return self.num_vars
 
     def set_preferred(self, var: int, value: bool) -> None:
@@ -199,6 +209,15 @@ class Solver:
             for v in range(1, self.num_vars + 1):
                 self.activity[v] *= _RESCALE_FACTOR
             self.var_inc *= _RESCALE_FACTOR
+            # Every heap entry just went stale at once: rebuild.
+            self._order = [
+                (-self.activity[v], v)
+                for v in range(1, self.num_vars + 1)
+                if self.assign[v] == 0
+            ]
+            heapq.heapify(self._order)
+        else:
+            heapq.heappush(self._order, (-self.activity[var], var))
 
     def _analyze(self, conflict: List[int]) -> tuple:
         """First-UIP learning; returns (learned clause, backjump level)."""
@@ -275,6 +294,7 @@ class Solver:
             self.phase[var] = lit > 0  # phase saving
             self.assign[var] = 0
             self.reason[var] = None
+            heapq.heappush(self._order, (-self.activity[var], var))
         del self.trail[limit:]
         del self.trail_lim[target_level:]
         self.prop_head = min(self.prop_head, len(self.trail))
@@ -340,6 +360,20 @@ class Solver:
             self._enqueue(lit, None)
 
     def _pick_branch_var(self) -> Optional[int]:
+        order = self._order
+        assign = self.assign
+        activity = self.activity
+        while order:
+            neg_activity, var = heapq.heappop(order)
+            if assign[var] != 0:
+                continue  # re-inserted on unassignment
+            if -neg_activity != activity[var]:
+                continue  # stale: a bump pushed a fresher entry
+            return var
+        return None
+
+    def _pick_branch_var_linear(self) -> Optional[int]:
+        """Reference O(num_vars) scan; kept for the equivalence tests."""
         best = None
         best_activity = -1.0
         for var in range(1, self.num_vars + 1):

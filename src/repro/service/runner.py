@@ -32,6 +32,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Union
 
+from repro.compile import default_backend, set_default_backend, using_backend
 from repro.core.api import FeedbackReport, generate_feedback
 
 if TYPE_CHECKING:
@@ -109,10 +110,17 @@ _WORKER: dict = {}
 
 
 def _worker_init(
-    spec: ProblemSpec, model: ErrorModel, engine_name: str, timeout_s: float
+    spec: ProblemSpec,
+    model: ErrorModel,
+    engine_name: str,
+    timeout_s: float,
+    backend: str,
 ) -> None:
     from repro.engines.verify import BoundedVerifier
 
+    # Pin the execution backend explicitly: workers must match the parent
+    # runner's substrate even under spawn-based process start methods.
+    set_default_backend(backend)
     verifier = BoundedVerifier(spec)
     verifier.inputs  # materialize the reference table up front
     _WORKER.update(
@@ -151,6 +159,7 @@ class BatchRunner:
         resume: bool = False,
         progress: Optional[ProgressFn] = None,
         verifier: Optional["BoundedVerifier"] = None,
+        backend: Optional[str] = None,
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -170,6 +179,9 @@ class BatchRunner:
         self.progress = progress
         #: Serial-only override; worker processes build their own verifier.
         self.verifier = verifier
+        #: Execution substrate ("compiled" / "interp"); ``None`` defers to
+        #: the process default at grading time.
+        self.backend = backend
         self.stats = BatchStats()
         self._model_digest = model_digest(self.model)
         engine_label = (
@@ -320,20 +332,21 @@ class BatchRunner:
         from repro.core.api import _verifier_cache
 
         spec = self.problem.spec
-        verifier = self.verifier or _verifier_cache(spec)
         engine = self.engine
-        for index in indices:
-            report = generate_feedback(
-                batch[index].source,
-                spec,
-                self.model,
-                engine=engine
-                if isinstance(engine, Engine)
-                else _make_engine(engine),
-                timeout_s=self.timeout_s,
-                verifier=verifier,
-            )
-            yield index, report_to_record(report)
+        with using_backend(self.backend):
+            verifier = self.verifier or _verifier_cache(spec)
+            for index in indices:
+                report = generate_feedback(
+                    batch[index].source,
+                    spec,
+                    self.model,
+                    engine=engine
+                    if isinstance(engine, Engine)
+                    else _make_engine(engine),
+                    timeout_s=self.timeout_s,
+                    verifier=verifier,
+                )
+                yield index, report_to_record(report)
 
     def _grade_parallel(self, batch, indices):
         engine_name = (
@@ -348,6 +361,7 @@ class BatchRunner:
                 self.model,
                 engine_name,
                 self.timeout_s,
+                self.backend or default_backend(),
             ),
         ) as pool:
             futures = {

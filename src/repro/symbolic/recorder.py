@@ -86,8 +86,21 @@ def run_candidate(
     args: tuple,
     assignment: Dict[int, int],
     fuel: int = DEFAULT_FUEL,
+    backend: Optional[str] = None,
 ) -> Tuple[RunResult, Dict[int, int]]:
-    """One-shot convenience wrapper; returns (result, touched cube)."""
+    """One-shot convenience wrapper; returns (result, touched cube).
+
+    ``backend`` picks the execution substrate (process default when
+    ``None``). Repeated-candidate call sites should hold a
+    ``CompiledProgram`` (or a ``RecordingInterpreter``) instead of paying
+    the per-call setup here.
+    """
+    from repro.compile import COMPILED, compile_program, resolve_backend
+
+    if resolve_backend(backend) == COMPILED:
+        program = compile_program(module, fuel=fuel)
+        result = program.run(function, args, assignment=assignment)
+        return result, program.cube()
     interp = RecordingInterpreter(module, assignment, fuel=fuel)
     result = interp.run(function, args)
     return result, interp.cube()

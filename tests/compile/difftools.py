@@ -1,0 +1,57 @@
+"""Shared helpers for the compiled-backend differential suite."""
+
+from __future__ import annotations
+
+import itertools
+
+from repro.compile import compile_program
+from repro.mpy import parse_program
+from repro.mpy.errors import MPYRuntimeError
+from repro.mpy.interp import DEFAULT_FUEL, Interpreter
+
+
+def observe(thunk):
+    """Run ``thunk``; capture (tag, value, stdout) or (tag, message).
+
+    Unlike the verifier's ``outcome_of`` this keeps the error *message*,
+    so the suite proves the two backends agree on diagnostics too.
+    """
+    try:
+        result = thunk()
+    except MPYRuntimeError as exc:
+        return ("error", str(exc))
+    return ("ok", result.value, result.stdout)
+
+
+def assert_call_parity(module, fn, args, fuel=DEFAULT_FUEL):
+    """Interpreter vs compiled ``call``: outcome, stdout, message, fuel."""
+    try:
+        interp = Interpreter(module, fuel=fuel)
+    except MPYRuntimeError as exc:
+        # Top-level execution failed; the compiled backend surfaces the
+        # same error lazily, at the first call.
+        interp = None
+        interp_outcome = ("error", str(exc))
+    if interp is not None:
+        interp_outcome = observe(lambda: interp.call(fn, args))
+    program = compile_program(module, fuel=fuel)
+    compiled_outcome = observe(lambda: program.call(fn, args))
+    assert compiled_outcome == interp_outcome, (
+        f"backend mismatch on {fn}{args}: "
+        f"interp={interp_outcome} compiled={compiled_outcome}"
+    )
+    if interp is not None:
+        assert program.fuel == interp.fuel, (
+            f"fuel mismatch on {fn}{args}: "
+            f"interp={interp.fuel} compiled={program.fuel}"
+        )
+    return compiled_outcome
+
+
+def source_parity(source, fn, args, fuel=DEFAULT_FUEL):
+    return assert_call_parity(parse_program(source), fn, args, fuel=fuel)
+
+
+def sample_inputs(spec, count):
+    """A deterministic slice of a problem's bounded input space."""
+    return list(itertools.islice(spec.input_space(), count))

@@ -1,0 +1,189 @@
+"""Backend selection and engine-level equivalence.
+
+The acceptance bar for the compiled substrate: the CEGISMIN and
+enumerative engines must produce *identical* ``EngineResult`` assignments
+and costs under both backends on the Fig. 2 workload — same search, same
+blocking cubes, same minimal correction.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.compile import (
+    COMPILED,
+    ENV_VAR,
+    INTERP,
+    default_backend,
+    resolve_backend,
+    set_default_backend,
+    using_backend,
+)
+from repro.compile.compiler import CompiledProgram
+from repro.core.spec import ProblemSpec
+from repro.core.rewriter import rewrite_submission
+from repro.eml import parse_error_model
+from repro.engines import BoundedVerifier, CegisMinEngine, EnumerativeEngine
+from repro.engines.cegismin import _CandidateRunner
+from repro.mpy import parse_program
+from repro.mpy.values import Bounds
+from repro.symbolic.recorder import RecordingInterpreter
+
+DERIV_REF = """def computeDeriv_list_int(poly_list_int):
+    result = []
+    for i in range(len(poly_list_int)):
+        result += [i * poly_list_int[i]]
+    if len(poly_list_int) == 1:
+        return result
+    else:
+        return result[1:]
+"""
+
+SIMPLE_MODEL = """
+rule RETR: return a -> return [0]
+rule RANR: range(a1, a2) -> range(a1 + 1, a2)
+rule COMPR: a0 == a1 -> False
+"""
+
+FIG2A = """def computeDeriv(poly):
+    deriv = []
+    zero = 0
+    if (len(poly) == 1):
+        return deriv
+    for e in range(0,len(poly)):
+        if (poly[e] == 0):
+            zero += 1
+        else:
+            deriv.append(poly[e]*e)
+    return deriv
+"""
+
+
+@pytest.fixture(scope="module")
+def deriv_spec():
+    return ProblemSpec.from_typed_reference(
+        "computeDeriv", DERIV_REF, bounds=Bounds(int_bits=3, max_list_len=3)
+    )
+
+
+@pytest.fixture(scope="module")
+def fig2_space(deriv_spec):
+    model = parse_error_model(SIMPLE_MODEL)
+    return rewrite_submission(parse_program(FIG2A), deriv_spec, model)
+
+
+class TestSelection:
+    def test_default_is_compiled(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        set_default_backend(None)
+        assert default_backend() == COMPILED
+
+    def test_env_var_escape_hatch(self, monkeypatch):
+        set_default_backend(None)
+        monkeypatch.setenv(ENV_VAR, "interp")
+        assert default_backend() == INTERP
+        monkeypatch.setenv(ENV_VAR, "compiled")
+        assert default_backend() == COMPILED
+
+    def test_explicit_beats_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "interp")
+        assert resolve_backend("compiled") == COMPILED
+
+    def test_set_default_beats_env(self, monkeypatch):
+        monkeypatch.setenv(ENV_VAR, "interp")
+        set_default_backend("compiled")
+        try:
+            assert default_backend() == COMPILED
+        finally:
+            set_default_backend(None)
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_backend("jit")
+        with pytest.raises(ValueError):
+            set_default_backend("bytecode")
+
+    def test_using_backend_restores(self, monkeypatch):
+        monkeypatch.delenv(ENV_VAR, raising=False)
+        set_default_backend(None)
+        with using_backend(INTERP) as active:
+            assert active == INTERP
+            assert default_backend() == INTERP
+        assert default_backend() == COMPILED
+        # None means "leave as is".
+        with using_backend(None) as active:
+            assert active == COMPILED
+
+    def test_candidate_runner_substrates(self, fig2_space, deriv_spec):
+        tilde, _ = fig2_space
+        compiled = _CandidateRunner(
+            tilde, "computeDeriv", 1000, backend=COMPILED
+        )
+        assert isinstance(compiled._program, CompiledProgram)
+        walker = _CandidateRunner(tilde, "computeDeriv", 1000, backend=INTERP)
+        assert walker._program is None
+        result_c = compiled.run({}, ([1, 2],))
+        result_i = walker.run({}, ([1, 2],))
+        assert result_c.value == result_i.value
+        assert compiled.cube() == walker.cube()
+        assert isinstance(walker._interp, RecordingInterpreter)
+
+
+class TestEngineEquivalence:
+    @pytest.mark.parametrize("make_engine", [
+        lambda: CegisMinEngine(),
+        lambda: EnumerativeEngine(max_cost=4),
+    ], ids=["cegismin", "enumerative"])
+    def test_identical_results_across_backends(
+        self, deriv_spec, fig2_space, make_engine
+    ):
+        tilde, registry = fig2_space
+        results = {}
+        for backend in (COMPILED, INTERP):
+            # The runner inside solve() follows the process default.
+            with using_backend(backend):
+                verifier = BoundedVerifier(deriv_spec, backend=backend)
+                result = make_engine().solve(
+                    tilde,
+                    registry,
+                    deriv_spec,
+                    verifier,
+                    timeout_s=120,
+                )
+            results[backend] = result
+        compiled, interp = results[COMPILED], results[INTERP]
+        assert compiled.status == interp.status == "fixed"
+        assert compiled.assignment == interp.assignment
+        assert compiled.cost == interp.cost == 3
+        assert compiled.minimal and interp.minimal
+        assert compiled.iterations == interp.iterations
+        assert compiled.counterexamples == interp.counterexamples
+
+    @pytest.mark.parametrize("backend", [COMPILED, INTERP])
+    def test_grading_top_level_error_is_incorrect(self, backend):
+        """Both backends classify an erroring top level as incorrect.
+
+        The tree-walker raises at construction, the compiled backend at
+        first call; grade_submission must fold both into 'incorrect'
+        rather than crash under one substrate and grade under the other.
+        """
+        from repro.core.api import grade_submission
+        from repro.problems import get_problem
+
+        source = (
+            "xs = [1, 2, 3]\n"
+            "y = xs[10]\n"
+            "def computeDeriv(poly):\n"
+            "    return []\n"
+        )
+        spec = get_problem("compDeriv-6.00x").spec
+        with using_backend(backend):
+            assert grade_submission(source, spec) == "incorrect"
+
+    def test_verifier_tables_identical(self, deriv_spec):
+        compiled = BoundedVerifier(deriv_spec, backend=COMPILED)
+        interp = BoundedVerifier(deriv_spec, backend=INTERP)
+        assert compiled.inputs == interp.inputs
+        assert compiled.candidate_fuel == interp.candidate_fuel
+        assert compiled._expected == interp._expected
+        assert compiled._triples == interp._triples

@@ -241,3 +241,74 @@ class TestRandomCNF:
             assert result == brute_force(num_vars, clauses), f"trial {trial}"
             if result == SAT:
                 check_model(solver, clauses)
+
+
+class TestOrderHeap:
+    """The lazy VSIDS max-heap must reproduce the linear scan exactly.
+
+    Decision order is observable through ``stats`` (decisions, conflicts,
+    restarts all depend on which variable is picked first), so equal
+    stats across the two pickers on random instances pins the heap to
+    the reference semantics: highest activity wins, ties break toward
+    the smallest variable index.
+    """
+
+    def _paired_solvers(self):
+        heap_solver = Solver()
+        linear_solver = Solver()
+        linear_solver._pick_branch_var = (
+            linear_solver._pick_branch_var_linear
+        )
+        return heap_solver, linear_solver
+
+    def test_matches_linear_scan_on_random_instances(self):
+        rng = random.Random(31)
+        for trial in range(25):
+            num_vars = rng.randint(10, 60)
+            clauses = [
+                [
+                    rng.randint(1, num_vars) * rng.choice([1, -1])
+                    for _ in range(3)
+                ]
+                for _ in range(int(num_vars * rng.uniform(2.5, 4.5)))
+            ]
+            heap_solver, linear_solver = self._paired_solvers()
+            for solver in (heap_solver, linear_solver):
+                for _ in range(num_vars):
+                    solver.new_var()
+                for clause in clauses:
+                    solver.add_clause(list(clause))
+            assert heap_solver.solve() == linear_solver.solve(), trial
+            assert heap_solver.stats == linear_solver.stats, trial
+
+    def test_matches_under_incremental_assumptions(self):
+        rng = random.Random(13)
+        heap_solver, linear_solver = self._paired_solvers()
+        for solver in (heap_solver, linear_solver):
+            for _ in range(30):
+                solver.new_var()
+        for step in range(25):
+            clause = [
+                rng.randint(1, 30) * rng.choice([1, -1]) for _ in range(3)
+            ]
+            assumptions = [
+                rng.randint(1, 30) * rng.choice([1, -1]) for _ in range(2)
+            ]
+            heap_solver.add_clause(list(clause))
+            linear_solver.add_clause(list(clause))
+            assert heap_solver.solve(
+                assumptions=assumptions
+            ) == linear_solver.solve(assumptions=assumptions), step
+            assert heap_solver.stats == linear_solver.stats, step
+
+    def test_unassigned_vars_reenter_heap_after_backtrack(self):
+        solver = Solver()
+        for _ in range(6):
+            solver.new_var()
+        solver.add_clause([1, 2])
+        solver.add_clause([-1, 3])
+        solver.add_clause([-3, -2, 4])
+        assert solver.solve() == SAT
+        # A second solve must still be able to branch on every variable.
+        solver.add_clause([-4, 5])
+        assert solver.solve() == SAT
