@@ -7,6 +7,8 @@ target is one representative (median-difficulty) submission per problem —
 the quantity the paper's Avg/Median columns measure.
 """
 
+import time
+
 import pytest
 
 from benchmarks.conftest import PROBLEMS, TIMEOUT_S, save_result
@@ -61,8 +63,6 @@ def test_batch_runner_parallel_speedup(benchmark, bench_config):
     corpus = generate_corpus(
         problem, incorrect_count=10, seed=bench_config["seed"]
     )
-
-    import time
 
     start = time.monotonic()
     serial = run_problem(

@@ -13,7 +13,7 @@ Run:  python examples/error_model_authoring.py
 """
 
 from repro.core import generate_feedback
-from repro.eml import ErrorModel, parse_error_model
+from repro.eml import parse_error_model
 from repro.engines import BoundedVerifier
 from repro.problems import get_problem
 from repro.studentgen import generate_corpus

@@ -23,6 +23,7 @@ from repro.compile import BACKENDS, set_default_backend
 from repro.core import generate_feedback, grade_submission
 from repro.core.feedback import FeedbackLevel
 from repro.engines import CegisMinEngine, EnumerativeEngine
+from repro.explore import set_default_explorer
 from repro.problems import all_problems, get_problem
 
 
@@ -61,6 +62,7 @@ def cmd_feedback(args: argparse.Namespace) -> int:
         problem.model,
         engine=_engine_for(args.engine),
         timeout_s=args.timeout,
+        backend=args.backend,
     )
     print(report.render(FeedbackLevel(args.level)))
     if args.show_fix and report.fixed_source:
@@ -85,6 +87,7 @@ def cmd_table1(args: argparse.Namespace) -> int:
         problems=args.only,
         jobs=args.jobs,
         backend=args.backend,
+        explorer=args.explorer,
     )
     print(format_table1(rows))
     return 0
@@ -133,6 +136,7 @@ def cmd_batch(args: argparse.Namespace) -> int:
         resume=args.resume,
         progress=progress,
         backend=args.backend,
+        explorer=args.explorer,
     )
     results = runner.run(items)
     stats = runner.stats
@@ -166,6 +170,17 @@ def main(argv: Optional[list] = None) -> int:
             "execution substrate: 'compiled' (closure-compiled, default) "
             "or 'interp' (tree-walking interpreter escape hatch); also "
             "settable via REPRO_BACKEND"
+        ),
+    )
+    parser.add_argument(
+        "--explorer",
+        default=None,
+        choices=["on", "off"],
+        help=(
+            "candidate-space exploration tables: 'on' (default) blocks "
+            "whole failing regions per counterexample; 'off' is the "
+            "per-candidate-sweep ablation; also settable via "
+            "REPRO_EXPLORER"
         ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
@@ -237,6 +252,9 @@ def main(argv: Optional[list] = None) -> int:
         # Global default: covers grade/feedback paths; batch/table1 also
         # pass it explicitly so worker processes are pinned.
         set_default_backend(args.backend)
+    if args.explorer is not None:
+        # Same pattern for the exploration-table ablation knob.
+        set_default_explorer(args.explorer)
     handlers = {
         "problems": cmd_problems,
         "grade": cmd_grade,

@@ -13,6 +13,16 @@ write (:meth:`CompiledProgram.set_assignment`) — **no recompilation per
 candidate**. Every branch read is recorded in a touched-hole dict, so the
 cube/blocking-clause generalization of the CEGIS engines works unchanged.
 
+The touched-hole dict doubles as the path forker's choice-read
+interception point: dict insertion order is **first-read order**, so the
+explorer (:mod:`repro.explore.forker`) can replay a run's decision
+prefix and fan out at the first untouched choice without any hot-path
+hook — :meth:`CompiledProgram.run_recorded` is the entry that keeps the
+record complete across top-level re-execution, and
+:attr:`CompiledProgram.arities` tells the forker how wide each fan-out
+is. This ordering is a load-bearing contract, pinned by the explorer's
+differential suite.
+
 Semantics are bit-identical to :mod:`repro.mpy.interp` (same fuel burns
 at the same points, same error messages, same ``MAX_COLLECTION`` checks)
 — operator semantics are literally the interpreter's methods, borrowed by
@@ -163,6 +173,7 @@ class _Compiler:
         # Shared candidate-selection state, captured by choice closures.
         self.asg: List[int] = []
         self.cid_slot: Dict[int, int] = {}
+        self.cid_arity: Dict[int, int] = {}
         self.touched: Dict[int, int] = {}
         #: Shared return cell — see :class:`ReturnBox` for why one suffices.
         self.ret = ReturnBox()
@@ -189,12 +200,13 @@ class _Compiler:
             for name, fn in _make_builtins(machine).items()
         }
 
-    def _hole(self, cid: int) -> int:
+    def _hole(self, cid: int, arity: int) -> int:
         index = self.cid_slot.get(cid)
         if index is None:
             index = len(self.asg)
             self.cid_slot[cid] = index
             self.asg.append(0)
+        self.cid_arity[cid] = arity
         return index
 
     # -- blocks and statements ----------------------------------------------
@@ -525,7 +537,7 @@ class _Compiler:
 
     def stmt_ChoiceStmt(self, stmt: ChoiceStmt, scope):
         m = self.machine
-        index = self._hole(stmt.cid)
+        index = self._hole(stmt.cid, stmt.arity)
         cid = stmt.cid
         asg = self.asg
         touched = self.touched
@@ -634,7 +646,7 @@ class _Compiler:
         if isinstance(target, ChoiceExpr):
             # Assignment-target corrections (LHS rewrites): resolve the
             # chosen branch per run, recording the hole read.
-            index = self._hole(target.cid)
+            index = self._hole(target.cid, target.arity)
             cid = target.cid
             asg = self.asg
             touched = self.touched
@@ -1267,7 +1279,7 @@ class _Compiler:
     # -- choice nodes --------------------------------------------------------
 
     def expr_ChoiceExpr(self, expr: ChoiceExpr, scope):
-        index = self._hole(expr.cid)
+        index = self._hole(expr.cid, expr.arity)
         cid = expr.cid
         asg = self.asg
         touched = self.touched
@@ -1283,7 +1295,7 @@ class _Compiler:
         return run
 
     def expr_ChoiceCompare(self, expr: ChoiceCompare, scope):
-        index = self._hole(expr.cid)
+        index = self._hole(expr.cid, expr.arity)
         cid = expr.cid
         asg = self.asg
         touched = self.touched
@@ -1303,7 +1315,7 @@ class _Compiler:
         return run
 
     def expr_ChoiceBinOp(self, expr: ChoiceBinOp, scope):
-        index = self._hole(expr.cid)
+        index = self._hole(expr.cid, expr.arity)
         cid = expr.cid
         asg = self.asg
         touched = self.touched
@@ -1364,6 +1376,8 @@ class CompiledProgram:
         self._top = compiler.compile_block(module.body, None)
         self._asg = compiler.asg
         self._cid_slot = compiler.cid_slot
+        #: Hole id → branch count, for the path forker's fan-out width.
+        self.arities = compiler.cid_arity
         self.touched = compiler.touched
         self._builtins = compiler.builtins
         self._initialized = False
@@ -1450,6 +1464,33 @@ class CompiledProgram:
     def cube(self) -> Dict[int, int]:
         """The holes read by the last run, with the branches they took."""
         return dict(self.touched)
+
+    # -- path-forker API ----------------------------------------------------
+
+    def run_recorded(
+        self,
+        name: str,
+        args: tuple,
+        assignment: Optional[Dict[int, int]] = None,
+    ) -> RunResult:
+        """Run one path with a touched record covering the *whole* run.
+
+        Unlike :meth:`run`, the record is cleared before top-level
+        re-execution, so choices read while rebuilding module state are
+        part of the cube — the completeness the exploration tables need
+        (a stateful module's outcome can depend on top-level choices).
+        On an error mid-run (including during top-level execution) the
+        record still holds everything read up to the raise, which is
+        exactly the failing path's cube.
+        """
+        if assignment is not None:
+            self.set_assignment(assignment)
+        self.touched.clear()
+        if self.stateful:
+            self._exec_top_level()
+        else:
+            self._ensure_initialized()
+        return self.call(name, args)
 
 
 def compile_program(

@@ -13,7 +13,7 @@ import time
 import weakref
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from repro.compile import make_executor
 from repro.core.feedback import (
@@ -144,8 +144,15 @@ def generate_feedback(
     engine: Optional[Engine] = None,
     timeout_s: float = 60.0,
     verifier: Optional[BoundedVerifier] = None,
+    backend: Optional[str] = None,
 ) -> FeedbackReport:
-    """Run the full pipeline on one student submission."""
+    """Run the full pipeline on one student submission.
+
+    ``backend`` pins the execution substrate for this call — candidate
+    side via ``Engine.solve(backend=...)``, reference side via a
+    non-cached ``BoundedVerifier(backend=...)`` when no verifier is
+    supplied. ``None`` defers to the process default everywhere.
+    """
     start = time.monotonic()
     engine = engine or CegisMinEngine()
 
@@ -164,14 +171,24 @@ def generate_feedback(
     except FrontendError as exc:
         return report(SYNTAX_ERROR, detail=str(exc))
 
-    verifier = verifier or _verifier_cache(spec)
+    if verifier is None:
+        # The process-wide cache only holds default-substrate verifiers;
+        # an explicit backend gets its own (reference outcomes agree
+        # either way — the differential suite pins the substrates equal).
+        verifier = (
+            _verifier_cache(spec)
+            if backend is None
+            else BoundedVerifier(spec, backend=backend)
+        )
 
     try:
         tilde, registry = rewrite_submission(module, spec, model)
     except SignatureError as exc:
         return report(BAD_SIGNATURE, detail=str(exc))
 
-    result = engine.solve(tilde, registry, spec, verifier, timeout_s=timeout_s)
+    result = engine.solve(
+        tilde, registry, spec, verifier, timeout_s=timeout_s, backend=backend
+    )
 
     if result.status == "fixed":
         assignment = result.assignment or {}

@@ -21,7 +21,7 @@ import enum
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from repro.eml.rules import ErrorModel, InsertTopRule, RewriteRule
+from repro.eml.rules import ErrorModel
 from repro.mpy import nodes as N
 from repro.mpy.printer import to_source
 from repro.tilde.nodes import (

@@ -10,7 +10,7 @@ space plus its hole registry.
 from __future__ import annotations
 
 from dataclasses import replace
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 from repro.core.spec import ProblemSpec
 from repro.eml.rules import ErrorModel

@@ -15,8 +15,6 @@ from typing import Set
 
 from repro.eml.errors import EMLError
 from repro.eml.rules import (
-    ARITH_OP_KEY,
-    CMP_OP_KEY,
     AnyArgs,
     ArithSet,
     CmpSet,

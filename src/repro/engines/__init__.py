@@ -6,9 +6,14 @@
   argues against (mutation-style enumeration, Section 7.2);
 - :mod:`repro.engines.verify` — exhaustive bounded equivalence checking
   against the reference implementation (the SKETCH harness stand-in).
+
+Both engines search a :class:`~repro.engines.base.CandidateSpace` — the
+tilde module plus registry on an execution substrate — and, with the
+explorer on, consume per-input exploration tables from
+:mod:`repro.explore` instead of sweeping candidates one at a time.
 """
 
-from repro.engines.base import EngineResult, Engine
+from repro.engines.base import CandidateSpace, EngineResult, Engine
 from repro.engines.cegismin import CegisMinEngine
 from repro.engines.enumerative import EnumerativeEngine
 from repro.engines.verify import BoundedVerifier, Outcome, outcomes_match
@@ -16,6 +21,7 @@ from repro.engines.verify import BoundedVerifier, Outcome, outcomes_match
 __all__ = [
     "Engine",
     "EngineResult",
+    "CandidateSpace",
     "CegisMinEngine",
     "EnumerativeEngine",
     "BoundedVerifier",

@@ -1,4 +1,18 @@
-"""Common engine interface and result type."""
+"""Common engine interface, result type, and the candidate space.
+
+:class:`CandidateSpace` is the engines' shared view of one M̃PY search
+space: the tilde module, its hole registry, and an execution substrate
+(compiled closures by default, the tree-walker as escape hatch). It
+serves both access patterns the engines need:
+
+- **per-candidate** — :meth:`CandidateSpace.outcome` runs one assignment
+  on one input (an array write + a closure call on the compiled backend);
+- **per-input** — :meth:`CandidateSpace.explore` forks at every choice
+  point the input's execution reads and returns the complete
+  (touched-hole cube → outcome) table for that input, the all-candidates-
+  at-once view CEGISMIN blocks counterexamples with and the enumerative
+  engine intersects.
+"""
 
 from __future__ import annotations
 
@@ -6,9 +20,18 @@ from typing import TYPE_CHECKING
 
 import abc
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Callable, Dict, Optional
 
+from repro.compile import COMPILED, compile_program, resolve_backend
+from repro.explore import (
+    ExplorationTable,
+    Outcome,
+    PathForker,
+    domains_from_registry,
+    outcome_of,
+)
 from repro.mpy import nodes as N
+from repro.symbolic.recorder import InterpPathRunner, RecordingInterpreter
 from repro.tilde.nodes import HoleRegistry
 
 if TYPE_CHECKING:
@@ -40,6 +63,170 @@ class EngineResult:
         return self.status == FIXED
 
 
+def _has_top_level_state(module: N.Module) -> bool:
+    return any(not isinstance(stmt, N.FuncDef) for stmt in module.body)
+
+
+class _ProgramPathRunner:
+    """Adapts a :class:`~repro.compile.compiler.CompiledProgram` to the
+    forker's two-method runner protocol (entry point bound once)."""
+
+    __slots__ = ("program", "function")
+
+    def __init__(self, program, function: str):
+        self.program = program
+        self.function = function
+
+    def run_recorded(self, args: tuple, assignment: Dict[int, int]):
+        return self.program.run_recorded(self.function, args, assignment)
+
+    def cube(self) -> Dict[int, int]:
+        return self.program.cube()
+
+
+class CandidateSpace:
+    """One M̃PY candidate space, executable and explorable.
+
+    Under the default ``compiled`` backend the module is lowered to
+    closures exactly once; switching candidates is an assignment-array
+    write (zero recompilation). The ``interp`` backend is the tree-walker
+    escape hatch, reusing one interpreter when the module carries no
+    top-level state. ``backend=None`` defers to the process default
+    (:func:`repro.compile.resolve_backend`).
+    """
+
+    def __init__(
+        self,
+        tilde: N.Module,
+        function: str,
+        fuel: int,
+        registry: Optional[HoleRegistry] = None,
+        backend: Optional[str] = None,
+        compare_stdout: bool = False,
+    ):
+        self.tilde = tilde
+        self.function = function
+        self.fuel = fuel
+        self.registry = registry
+        self.compare_stdout = compare_stdout
+        self.backend = resolve_backend(backend)
+        self.stateful = _has_top_level_state(tilde)
+        self._interp: Optional[RecordingInterpreter] = None
+        self._program = (
+            compile_program(tilde, fuel=fuel)
+            if self.backend == COMPILED
+            else None
+        )
+        self._forker: Optional[PathForker] = None
+
+    # -- per-candidate execution --------------------------------------------
+
+    def run(self, assignment: Dict[int, int], args: tuple):
+        """Run one candidate on one input; the cube record covers the
+        whole run (top-level re-execution included)."""
+        if self._program is not None:
+            return self._program.run_recorded(
+                self.function, args, assignment
+            )
+        if self.stateful or self._interp is None:
+            # Two-phase construction: __init__ executes the module top
+            # level and can raise; installing the instance first keeps
+            # its partial touch record readable through cube() (callers
+            # treat the raise as this run's error outcome and then read
+            # the failing path's cube).
+            interp = RecordingInterpreter.__new__(RecordingInterpreter)
+            self._interp = interp
+            interp.__init__(self.tilde, assignment, fuel=self.fuel)
+            return interp.call(self.function, args)
+        return self._interp.run(self.function, args, assignment=assignment)
+
+    def cube(self) -> Dict[int, int]:
+        """The holes the last :meth:`run` read, insertion-ordered."""
+        if self._program is not None:
+            return self._program.cube()
+        assert self._interp is not None
+        return self._interp.cube()
+
+    def outcome(self, assignment: Dict[int, int], args: tuple) -> Outcome:
+        """The observable outcome of one candidate on one input."""
+        return outcome_of(
+            lambda: self.run(assignment, args), self.compare_stdout
+        )
+
+    # -- per-input exploration ----------------------------------------------
+
+    def forker(self) -> PathForker:
+        """The path forker over this space (requires a registry)."""
+        if self._forker is None:
+            if self.registry is None:
+                raise ValueError(
+                    "exploration needs the hole registry; construct the "
+                    "CandidateSpace with registry="
+                )
+            arity, cost = domains_from_registry(self.registry)
+            if self._program is not None:
+                runner = _ProgramPathRunner(self._program, self.function)
+            else:
+                runner = InterpPathRunner(
+                    self.tilde, self.function, self.fuel
+                )
+            self._forker = PathForker(
+                runner, arity, cost, compare_stdout=self.compare_stdout
+            )
+        return self._forker
+
+    def explore(
+        self,
+        args: tuple,
+        pinned: Optional[Dict[int, int]] = None,
+        budget: Optional[int] = None,
+        fork: Optional[Callable[[int], bool]] = None,
+        deadline: Optional[float] = None,
+        max_leaves: Optional[int] = None,
+    ) -> ExplorationTable:
+        """The exploration table of ``args`` (see :class:`PathForker`)."""
+        return self.forker().explore(
+            args,
+            pinned=pinned,
+            budget=budget,
+            fork=fork,
+            deadline=deadline,
+            max_leaves=max_leaves,
+        )
+
+    def explore_free_region(
+        self,
+        args: tuple,
+        assignment: Dict[int, int],
+        deadline: Optional[float] = None,
+    ) -> ExplorationTable:
+        """The table of ``assignment``'s free-hole neighborhood on ``args``.
+
+        Costly holes are pinned at the candidate's branches; only free
+        rule-RHS holes (which carry no cost pressure, so the SAT solver
+        would otherwise propose their siblings one by one) fan out. The
+        leaves cover *every* assignment agreeing with the candidate on
+        its non-free holes — the complete, uncapped replacement for
+        per-sibling refutation.
+        """
+        assert self.registry is not None
+        registry = self.registry
+        pinned = {
+            cid: branch
+            for cid, branch in assignment.items()
+            if cid in registry and not registry.info(cid).free
+        }
+        free = {
+            info.cid for info in registry.holes() if info.free
+        }
+        return self.explore(
+            args,
+            pinned=pinned,
+            fork=free.__contains__,
+            deadline=deadline,
+        )
+
+
 class Engine(abc.ABC):
     """A search strategy over an M̃PY candidate space."""
 
@@ -53,5 +240,12 @@ class Engine(abc.ABC):
         spec: ProblemSpec,
         verifier,
         timeout_s: float = 60.0,
+        backend: Optional[str] = None,
     ) -> EngineResult:
-        """Find a minimal-cost hole assignment equivalent to the reference."""
+        """Find a minimal-cost hole assignment equivalent to the reference.
+
+        ``backend`` pins the candidate-side execution substrate for this
+        solve (``None`` = process default), mirroring the ``backend=``
+        the :class:`~repro.engines.verify.BoundedVerifier` already takes
+        for the reference side.
+        """

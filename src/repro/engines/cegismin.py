@@ -17,13 +17,24 @@ This is the paper's Algorithm 1 on our substrate:
 
 Failed runs are generalized before blocking: execution under a concrete
 assignment only reads the holes on its path, so the blocking clause covers
-the whole cube of assignments that agree on those holes — this is what
-makes the search over 10^6+ candidate spaces tractable, standing in for
-SKETCH's symbolic encoding.
+the whole cube of assignments that agree on those holes. With the explorer
+on (the default), each failure goes further: the path forker re-runs the
+counterexample input over the failing candidate's **free-hole
+neighborhood** — every assignment agreeing with the candidate on its
+costly holes — and every failing leaf of the resulting exploration table
+is blocked in the same SAT round. Free rule-RHS holes carry no cost
+pressure, so without the tables the solver would propose their siblings
+one by one; with them the whole failing region vanishes at once,
+uncapped, visiting only *reachable* branch combinations (the concrete
+counterpart of what SKETCH's symbolic encoding rules out in a single
+conflict). ``--explorer off`` is the ablation: one generalized cube per
+failing candidate, the per-candidate sweep the tables replace.
 
 ``incremental=False`` rebuilds the solver at every cost bound instead of
 reusing learned state — the ablation the paper's incremental-solving claim
-(Section 4.2) is benchmarked against.
+(Section 4.2) is benchmarked against. SAT statistics are accumulated
+across rebuilds, so ``EngineResult.stats`` reports whole-run totals in
+both modes.
 """
 
 from __future__ import annotations
@@ -31,79 +42,26 @@ from __future__ import annotations
 from typing import TYPE_CHECKING
 
 import time
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
-from repro.compile import COMPILED, compile_program, resolve_backend
 from repro.engines.base import (
     FIXED,
     NO_FIX,
     TIMEOUT,
+    CandidateSpace,
     Engine,
     EngineResult,
 )
 from repro.engines.encoding import HoleEncoding
-from repro.engines.verify import BoundedVerifier, outcome_of, outcomes_match
+from repro.engines.verify import BoundedVerifier, outcomes_match
+from repro.explore import resolve_explorer
 from repro.mpy import nodes as N
 from repro.sat import SAT, Solver
-from repro.symbolic.recorder import RecordingInterpreter
 from repro.tilde.nodes import HoleRegistry
 from repro.tilde.semantics import assignment_cost
 
 if TYPE_CHECKING:
     from repro.core.spec import ProblemSpec
-
-
-def _has_top_level_state(module: N.Module) -> bool:
-    return any(not isinstance(stmt, N.FuncDef) for stmt in module.body)
-
-
-class _CandidateRunner:
-    """Runs the M̃PY module under assignments.
-
-    Under the default ``compiled`` backend the module is lowered to
-    closures exactly once; switching candidates is an assignment-array
-    write (zero recompilation). The ``interp`` backend is the tree-walker
-    escape hatch, reusing one interpreter when the module carries no
-    top-level state.
-    """
-
-    def __init__(
-        self,
-        tilde: N.Module,
-        function: str,
-        fuel: int,
-        backend: Optional[str] = None,
-    ):
-        self.tilde = tilde
-        self.function = function
-        self.fuel = fuel
-        self.backend = resolve_backend(backend)
-        self.stateful = _has_top_level_state(tilde)
-        self._interp: Optional[RecordingInterpreter] = None
-        self._program = (
-            compile_program(tilde, fuel=fuel)
-            if self.backend == COMPILED
-            else None
-        )
-
-    def run(self, assignment: Dict[int, int], args: tuple):
-        """Returns (RunResult-or-exception outcome is built by caller)."""
-        if self._program is not None:
-            return self._program.run(
-                self.function, args, assignment=assignment
-            )
-        if self.stateful or self._interp is None:
-            self._interp = RecordingInterpreter(
-                self.tilde, assignment, fuel=self.fuel
-            )
-            return self._interp.run(self.function, args)
-        return self._interp.run(self.function, args, assignment=assignment)
-
-    def cube(self) -> Dict[int, int]:
-        if self._program is not None:
-            return self._program.cube()
-        assert self._interp is not None
-        return self._interp.cube()
 
 
 class CegisMinEngine(Engine):
@@ -116,15 +74,13 @@ class CegisMinEngine(Engine):
         seed_inputs: int = 4,
         max_iterations: int = 200_000,
         incremental: bool = True,
-        bulk_refute_cap: int = 2048,
         max_cost: int = 5,
         strategy: str = "ascend",
+        explorer: Optional[bool] = None,
     ):
         self.seed_inputs = seed_inputs
         self.max_iterations = max_iterations
         self.incremental = incremental
-        #: Max free-hole combinations to exhaustively refute per failure.
-        self.bulk_refute_cap = bulk_refute_cap
         #: Give up beyond this many corrections (the paper's distribution
         #: tops out at 4, Fig. 14(a)); larger rewrites are the "big
         #: conceptual errors" the tool is not meant to fix.
@@ -136,6 +92,9 @@ class CegisMinEngine(Engine):
         #: concrete-execution backend this direction explores far more of
         #: the space, which is exactly what the ablation benchmark shows.
         self.strategy = strategy
+        #: Table-based blocking on (None = process default): block every
+        #: failing leaf of a counterexample's free-hole region per round.
+        self.explorer = explorer
 
     def solve(
         self,
@@ -144,22 +103,34 @@ class CegisMinEngine(Engine):
         spec: ProblemSpec,
         verifier: BoundedVerifier,
         timeout_s: float = 60.0,
+        backend: Optional[str] = None,
     ) -> EngineResult:
         start = time.monotonic()
         deadline = start + timeout_s
-        runner = _CandidateRunner(
-            tilde, spec.student_function, verifier.candidate_fuel
+        explorer = resolve_explorer(self.explorer)
+        space = CandidateSpace(
+            tilde,
+            spec.student_function,
+            verifier.candidate_fuel,
+            registry=registry,
+            backend=backend,
+            compare_stdout=spec.compare_stdout,
         )
 
         solver = Solver()
         encoding = HoleEncoding(solver, registry)
         blocked: List[Dict[int, int]] = []  # for non-incremental rebuilds
+        blocked_keys: Set[frozenset] = set()
+        #: SAT statistics of solvers discarded by non-incremental rebuilds;
+        #: reported totals are base + the live solver (whole-run numbers).
+        sat_base = {"conflicts": 0, "decisions": 0}
 
         cex_cache: List[tuple] = list(verifier.seed_inputs(self.seed_inputs))
         best: Optional[Dict[int, int]] = None
         best_cost: Optional[int] = None
         iterations = 0
         sat_calls = 0
+        table_leaves = 0
 
         def result(status: str, minimal: bool) -> EngineResult:
             return EngineResult(
@@ -173,17 +144,47 @@ class CegisMinEngine(Engine):
                 stats={
                     "sat_calls": sat_calls,
                     "blocked_cubes": len(blocked),
-                    "sat_conflicts": solver.stats["conflicts"],
-                    "sat_decisions": solver.stats["decisions"],
+                    "table_leaves": table_leaves,
+                    "sat_conflicts": sat_base["conflicts"]
+                    + solver.stats["conflicts"],
+                    "sat_decisions": sat_base["decisions"]
+                    + solver.stats["decisions"],
                     "engine": self.name,
                     "incremental": self.incremental,
+                    "explorer": explorer,
                 },
             )
 
-        def candidate_outcome(assignment, args):
-            return outcome_of(
-                lambda: runner.run(assignment, args), spec.compare_stdout
+        def block(cube: Dict[int, int]) -> None:
+            key = frozenset(cube.items())
+            if key in blocked_keys:
+                return
+            blocked_keys.add(key)
+            blocked.append(cube)
+            encoding.block_cube(cube)
+
+        def block_failures(assignment: Dict[int, int], args: tuple) -> None:
+            """Rule out everything this failure generalizes to.
+
+            Explorer on: every failing leaf of the candidate's free-hole
+            region on ``args`` — the whole region is refuted in this one
+            SAT round. Explorer off: just the failing run's own cube.
+            """
+            nonlocal table_leaves
+            if not explorer:
+                # The failing run is the space's last execution at both
+                # call sites (the inductive loop breaks on it; the full
+                # sweep returns at the first mismatch), so its touch
+                # record is current — no re-run needed.
+                block(space.cube())
+                return
+            table = space.explore_free_region(
+                args, assignment, deadline=deadline
             )
+            table_leaves += len(table)
+            _, failing = verifier.table_verdict(table)
+            for leaf in failing:
+                block(leaf.cube)
 
         # Cost levels to try, in search order. Ascending exhausts level k
         # before k+1 (first hit is minimal); descending is Algorithm 1's
@@ -227,37 +228,25 @@ class CegisMinEngine(Engine):
                 return result(NO_FIX, minimal=False)
             assignment = encoding.assignment_from_model()
 
-            # Inductive check against the cached counterexample inputs.
-            failed = False
-            for args in cex_cache:
-                outcome = candidate_outcome(assignment, args)
-                if not outcomes_match(verifier.expected(args), outcome):
-                    cube = runner.cube()
-                    blocked.append(cube)
-                    encoding.block_cube(cube)
-                    self._bulk_refute(
-                        args,
-                        cube,
-                        assignment,
-                        registry,
-                        verifier,
-                        encoding,
-                        blocked,
-                        candidate_outcome,
-                        runner,
-                        deadline,
-                    )
-                    failed = True
-                    break
-            if failed:
-                if not self.incremental:
-                    solver, encoding = self._rebuild(registry, blocked)
-                continue
-
-            # Full bounded verification.
             try:
+                # Inductive check against the cached counterexample inputs.
+                failed = False
+                for args in cex_cache:
+                    outcome = space.outcome(assignment, args)
+                    if not outcomes_match(verifier.expected(args), outcome):
+                        block_failures(assignment, args)
+                        failed = True
+                        break
+                if failed:
+                    if not self.incremental:
+                        solver, encoding = self._rebuild(
+                            registry, blocked, solver, sat_base
+                        )
+                    continue
+
+                # Full bounded verification.
                 cex = verifier.find_counterexample(
-                    lambda args: candidate_outcome(assignment, args),
+                    lambda args: space.outcome(assignment, args),
                     deadline=deadline,
                 )
             except TimeoutError:
@@ -266,24 +255,16 @@ class CegisMinEngine(Engine):
                 )
             if cex is not None:
                 cex_cache.append(cex)
-                outcome = candidate_outcome(assignment, cex)
-                cube = runner.cube()
-                blocked.append(cube)
-                encoding.block_cube(cube)
-                self._bulk_refute(
-                    cex,
-                    cube,
-                    assignment,
-                    registry,
-                    verifier,
-                    encoding,
-                    blocked,
-                    candidate_outcome,
-                    runner,
-                    deadline,
-                )
+                try:
+                    block_failures(assignment, cex)
+                except TimeoutError:
+                    return result(
+                        FIXED if best is not None else TIMEOUT, minimal=False
+                    )
                 if not self.incremental:
-                    solver, encoding = self._rebuild(registry, blocked)
+                    solver, encoding = self._rebuild(
+                        registry, blocked, solver, sat_base
+                    )
                 continue
 
             # Verified.
@@ -295,76 +276,27 @@ class CegisMinEngine(Engine):
                 return result(FIXED, minimal=True)
             # Algorithm 1 lines 11-13: record and tighten the bound.
             if not self.incremental:
-                solver, encoding = self._rebuild(registry, blocked)
+                solver, encoding = self._rebuild(
+                    registry, blocked, solver, sat_base
+                )
         return result(FIXED if best is not None else TIMEOUT, minimal=False)
 
-    def _bulk_refute(
-        self,
-        args: tuple,
-        cube: Dict[int, int],
-        assignment: Dict[int, int],
-        registry: HoleRegistry,
-        verifier: BoundedVerifier,
-        encoding: HoleEncoding,
-        blocked: List[Dict[int, int]],
-        candidate_outcome,
-        runner: _CandidateRunner,
-        deadline: float,
-    ) -> None:
-        """Exhaustively refute the free-hole neighborhood of a failed run.
-
-        A failing run often differs from its siblings only in the *free*
-        holes of rule-RHS sets (which carry no cost pressure); left to the
-        SAT solver, those siblings would be proposed and blocked one by
-        one. Replaying the failing input over every combination of the
-        touched free holes blocks the whole failing region in one
-        iteration — the concrete-execution counterpart of what SKETCH's
-        symbolic encoding rules out in a single conflict.
-        """
-        free_cids = [cid for cid in cube if registry.info(cid).free]
-        if not free_cids:
-            return
-        # Keep the combination count under the cap, preferring to explore
-        # small-domain holes exhaustively.
-        free_cids.sort(key=lambda cid: registry.info(cid).arity)
-        product = 1
-        chosen: List[int] = []
-        for cid in free_cids:
-            arity = registry.info(cid).arity
-            if product * arity > self.bulk_refute_cap:
-                break
-            product *= arity
-            chosen.append(cid)
-        if not chosen:
-            return
-        expected = verifier.expected(args)
-        import itertools
-
-        domains = [range(registry.info(cid).arity) for cid in chosen]
-        original = tuple(cube[cid] for cid in chosen)
-        for index, combo in enumerate(itertools.product(*domains)):
-            if combo == original:
-                continue  # already blocked above
-            if index % 32 == 0 and time.monotonic() > deadline:
-                return
-            variant = dict(assignment)
-            for cid, branch in zip(chosen, combo):
-                if branch == 0:
-                    variant.pop(cid, None)
-                else:
-                    variant[cid] = branch
-            outcome = candidate_outcome(variant, args)
-            if not outcomes_match(expected, outcome):
-                cube_v = runner.cube()  # the variant run's own touched set
-                blocked.append(cube_v)
-                encoding.block_cube(cube_v)
-
     def _rebuild(
-        self, registry: HoleRegistry, blocked: List[Dict[int, int]]
+        self,
+        registry: HoleRegistry,
+        blocked: List[Dict[int, int]],
+        old_solver: Solver,
+        sat_base: Dict[str, int],
     ) -> Tuple[Solver, HoleEncoding]:
-        """Non-incremental mode: fresh solver, re-adding blocking clauses."""
+        """Non-incremental mode: fresh solver, re-adding blocking clauses.
+
+        The discarded solver's statistics are folded into ``sat_base``
+        first, so reported totals cover the whole run, not just the last
+        rebuild.
+        """
+        for key in sat_base:
+            sat_base[key] += old_solver.stats[key]
         solver = Solver()
         encoding = HoleEncoding(solver, registry)
-        for cube in blocked:
-            encoding.block_cube(cube)
+        encoding.block_cubes(blocked)
         return solver, encoding

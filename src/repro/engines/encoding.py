@@ -14,9 +14,9 @@ student's original program.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List
 
-from repro.sat import CountingNetwork, Solver
+from repro.sat import CountingNetwork, Solver, encode_at_most_one
 from repro.tilde.nodes import HoleRegistry
 
 
@@ -44,9 +44,9 @@ class HoleEncoding:
             ]
             self.branch_vars[info.cid] = variables
             self.solver.add_clause(variables)  # at least one branch
-            for i in range(len(variables)):
-                for j in range(i + 1, len(variables)):
-                    self.solver.add_clause([-variables[i], -variables[j]])
+            # At most one branch: pairwise for narrow holes, sequential
+            # ladder for wide ones (see repro.sat.cardinality).
+            encode_at_most_one(self.solver, variables)
         # Activation variables need parents encoded first; process in
         # dependency order (parents are holes too, any order works because
         # we create all branch vars above).
@@ -120,6 +120,15 @@ class HoleEncoding:
             self.solver.add_clause([])
             return
         self.solver.add_clause(clause)
+
+    def block_cubes(self, cubes: Iterable[Dict[int, int]]) -> int:
+        """Block a batch of cubes (e.g. every failing leaf of an
+        exploration table); returns how many clauses were added."""
+        count = 0
+        for cube in cubes:
+            self.block_cube(cube)
+            count += 1
+        return count
 
     def block_assignment(self, assignment: Dict[int, int]) -> None:
         """Forbid one exact (canonical) assignment."""

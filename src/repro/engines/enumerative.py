@@ -4,8 +4,16 @@ The related work the paper positions against (mutation-based repair [10],
 brute-force search [3]) explores candidate programs one at a time. This
 engine reproduces that strategy over the same M̃PY spaces: enumerate
 canonical hole assignments in nondecreasing cost order, check each against
-cached counterexample inputs, and fully verify survivors. The first
-verified candidate is cost-minimal by construction.
+counterexample inputs, and fully verify survivors. The first verified
+candidate is cost-minimal by construction.
+
+With the explorer on (the default), the inner check is a **table
+intersection** instead of a nested run loop: each counterexample input is
+explored once into a (cube → outcome) table up to the engine's cost
+bound, and rejecting a candidate is a trie walk per table — no program
+execution at all. Only full verification of survivors still runs code,
+and only on inputs without a table. ``--explorer off`` restores the
+literal per-candidate sweep.
 
 The candidate cap makes the paper's point measurable: spaces that CEGISMIN
 dispatches in seconds push enumeration past any reasonable budget
@@ -25,11 +33,13 @@ from repro.engines.base import (
     FIXED,
     NO_FIX,
     TIMEOUT,
+    CandidateSpace,
     Engine,
     EngineResult,
 )
-from repro.engines.cegismin import _CandidateRunner
-from repro.engines.verify import BoundedVerifier, outcome_of, outcomes_match
+from repro.engines.verify import BoundedVerifier, outcomes_match
+from repro.explore import ExplorationLimit, resolve_explorer
+from repro.explore.table import ExplorationTable
 from repro.mpy import nodes as N
 from repro.tilde.nodes import HoleRegistry
 
@@ -119,10 +129,18 @@ class EnumerativeEngine(Engine):
         max_cost: int = 4,
         max_candidates: int = 500_000,
         seed_inputs: int = 4,
+        explorer: Optional[bool] = None,
+        table_leaf_cap: int = 20_000,
     ):
         self.max_cost = max_cost
         self.max_candidates = max_candidates
         self.seed_inputs = seed_inputs
+        #: Table-intersection rejection on (None = process default).
+        self.explorer = explorer
+        #: An input whose exploration would exceed this many leaves falls
+        #: back to direct candidate runs — tables must stay cheaper than
+        #: the sweeps they replace.
+        self.table_leaf_cap = table_leaf_cap
 
     def solve(
         self,
@@ -131,15 +149,29 @@ class EnumerativeEngine(Engine):
         spec: ProblemSpec,
         verifier: BoundedVerifier,
         timeout_s: float = 60.0,
+        backend: Optional[str] = None,
     ) -> EngineResult:
         start = time.monotonic()
         deadline = start + timeout_s
-        runner = _CandidateRunner(
-            tilde, spec.student_function, verifier.candidate_fuel
+        explorer = resolve_explorer(self.explorer)
+        space = CandidateSpace(
+            tilde,
+            spec.student_function,
+            verifier.candidate_fuel,
+            registry=registry,
+            backend=backend,
+            compare_stdout=spec.compare_stdout,
         )
         cex_cache: List[tuple] = list(verifier.seed_inputs(self.seed_inputs))
+        #: Parallel to ``cex_cache``: the input's exploration table (None
+        #: when untabled — explorer off / too large) and its reference
+        #: outcome, hoisted so the per-candidate loop never re-freezes
+        #: args through ``verifier.expected``.
+        tables: List[Optional[ExplorationTable]] = []
+        expected_cache: List = [verifier.expected(args) for args in cex_cache]
         candidates = 0
         full_verifications = 0
+        table_leaves = 0
 
         def result(status, assignment=None, cost=None) -> EngineResult:
             return EngineResult(
@@ -154,40 +186,71 @@ class EnumerativeEngine(Engine):
                     "engine": self.name,
                     "candidates": candidates,
                     "full_verifications": full_verifications,
+                    "tables": sum(1 for t in tables if t is not None),
+                    "table_leaves": table_leaves,
+                    "explorer": explorer,
                 },
             )
 
-        def candidate_outcome(assignment, args):
-            return outcome_of(
-                lambda: runner.run(assignment, args), spec.compare_stdout
+        def table_for(args: tuple) -> Optional[ExplorationTable]:
+            """Explore ``args`` up to the cost bound; None when off/huge."""
+            nonlocal table_leaves
+            if not explorer:
+                return None
+            try:
+                table = space.explore(
+                    args,
+                    budget=self.max_cost,
+                    deadline=deadline,
+                    max_leaves=self.table_leaf_cap,
+                )
+            except ExplorationLimit:
+                return None
+            table_leaves += len(table)
+            return table
+
+        def rejected_by(index: int, assignment: Dict[int, int]) -> bool:
+            """Does counterexample input #index rule the candidate out?
+
+            A trie walk when the input is tabled; a real run otherwise.
+            """
+            expected = expected_cache[index]
+            table = tables[index]
+            if table is not None:
+                outcome = table.lookup(assignment)
+                if outcome is not None:
+                    return not outcomes_match(expected, outcome)
+            return not outcomes_match(
+                expected, space.outcome(assignment, cex_cache[index])
             )
 
-        for assignment, cost in assignments_up_to_cost(
-            registry, self.max_cost
-        ):
-            candidates += 1
-            if candidates > self.max_candidates:
-                return result(EXHAUSTED)
-            if candidates % 64 == 0 and time.monotonic() > deadline:
-                return result(TIMEOUT)
-            rejected = False
+        try:
             for args in cex_cache:
-                if not outcomes_match(
-                    verifier.expected(args), candidate_outcome(assignment, args)
+                tables.append(table_for(args))
+
+            for assignment, cost in assignments_up_to_cost(
+                registry, self.max_cost
+            ):
+                candidates += 1
+                if candidates > self.max_candidates:
+                    return result(EXHAUSTED)
+                if candidates % 64 == 0 and time.monotonic() > deadline:
+                    return result(TIMEOUT)
+                if any(
+                    rejected_by(index, assignment)
+                    for index in range(len(cex_cache))
                 ):
-                    rejected = True
-                    break
-            if rejected:
-                continue
-            full_verifications += 1
-            try:
+                    continue
+                full_verifications += 1
                 cex = verifier.find_counterexample(
-                    lambda args: candidate_outcome(assignment, args),
+                    lambda args: space.outcome(assignment, args),
                     deadline=deadline,
                 )
-            except TimeoutError:
-                return result(TIMEOUT)
-            if cex is None:
-                return result(FIXED, assignment=assignment, cost=cost)
-            cex_cache.append(cex)
+                if cex is None:
+                    return result(FIXED, assignment=assignment, cost=cost)
+                cex_cache.append(cex)
+                expected_cache.append(verifier.expected(cex))
+                tables.append(table_for(cex))
+        except TimeoutError:
+            return result(TIMEOUT)
         return result(NO_FIX)

@@ -22,54 +22,21 @@ import time
 from typing import Callable, Iterable, List, Optional, Tuple
 
 from repro.compile import make_executor
-from repro.mpy.errors import MPYRuntimeError
-from repro.mpy.interp import RunResult
+
+# The outcome format lives in the explore layer (tables compare leaves
+# against reference outcomes); re-exported here for the engine-side API.
+from repro.explore.outcomes import (  # noqa: F401  (re-exports)
+    ERROR,
+    OK,
+    Outcome,
+    outcome_of,
+    outcomes_match,
+    typed_equal,
+)
 
 if TYPE_CHECKING:
     from repro.core.spec import ProblemSpec
-
-Outcome = Tuple  # ("ok", value, stdout) | ("error",)
-
-OK = "ok"
-ERROR = "error"
-
-
-def outcome_of(run: Callable[[], RunResult], compare_stdout: bool) -> Outcome:
-    try:
-        result = run()
-    except MPYRuntimeError:
-        return (ERROR,)
-    stdout = result.stdout if compare_stdout else ()
-    return (OK, result.value, stdout)
-
-
-def typed_equal(a, b) -> bool:
-    """Deep equality that distinguishes types Python's ``==`` conflates.
-
-    ``True == 1`` and ``[True] == [1]`` hold in Python, but under the
-    paper's MultiType flags BOOL and INTEGER are different dynamic types, so
-    returning one where the reference returns the other must count as a
-    mismatch.
-    """
-    if type(a) is not type(b):
-        return False
-    if isinstance(a, (list, tuple)):
-        return len(a) == len(b) and all(
-            typed_equal(x, y) for x, y in zip(a, b)
-        )
-    if isinstance(a, dict):
-        if set(a.keys()) != set(b.keys()):
-            return False
-        return all(typed_equal(a[k], b[k]) for k in a)
-    return a == b
-
-
-def outcomes_match(expected: Outcome, actual: Outcome) -> bool:
-    if expected[0] != actual[0]:
-        return False
-    if expected[0] == ERROR:
-        return True
-    return typed_equal(expected[1], actual[1]) and expected[2] == actual[2]
+    from repro.explore.table import ExplorationTable, Leaf
 
 
 def _input_size_key(args: tuple) -> tuple:
@@ -211,3 +178,16 @@ class BoundedVerifier:
 
     def is_equivalent(self, run: Callable[[tuple], Outcome]) -> bool:
         return self.find_counterexample(run) is None
+
+    # -- table side ---------------------------------------------------------
+
+    def table_verdict(
+        self, table: "ExplorationTable"
+    ) -> "Tuple[List[Leaf], List[Leaf]]":
+        """Split an exploration table's leaves against the reference.
+
+        Returns ``(matching, failing)``: each failing leaf's cube is a
+        whole region of candidates refuted on the table's input in one
+        step — the cube-level counterpart of a per-candidate sweep.
+        """
+        return table.split(self.expected(table.args))

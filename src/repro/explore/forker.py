@@ -1,0 +1,173 @@
+"""DFS path forker: enumerate every reachable execution path of one input.
+
+Running an M̃PY program on one input under a partial assignment reads a
+*sequence* of choice points: execution is deterministic, so the first
+untouched choice it consults — and every one after — is a function of the
+branches taken before it. The forker exploits this with **replay-based
+branching** (the concrete substrate's stand-in for SKETCH exploring all
+candidates symbolically):
+
+1. run once with every undecided choice resolving to its default branch;
+2. read the run's touched-hole record *in first-read order* (the
+   compiled backend and the recording interpreter both guarantee dict
+   insertion order = first-read order) and append each fresh choice
+   point to the decision stack at branch 0;
+3. backtrack: advance the deepest decision with an unexplored sibling,
+   drop the decisions below it, and replay — the decision prefix above
+   it is shared verbatim, so only reachable branch combinations are ever
+   executed (holes not read on a path never multiply into it).
+
+The result is an :class:`~repro.explore.table.ExplorationTable` whose
+leaves' cubes cover the whole candidate space for that input (restricted
+to ``pinned`` / ``budget`` when given) while each distinct execution path
+runs exactly once — O(distinct paths), not O(candidates).
+
+Forking can be restricted three ways, composably:
+
+- ``pinned`` — holes held at fixed branches (explore one region);
+- ``fork`` — a predicate choosing which holes fan out (e.g. only free
+  rule-RHS holes, the neighborhood ``CEGISMIN`` blocks per failure);
+- ``budget`` — a correction-cost bound: non-default branches of costly
+  holes consume budget and unaffordable siblings are pruned, matching
+  the cost levels CEGISMIN searches under.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.explore.outcomes import outcome_of
+from repro.explore.table import ExplorationTable, Leaf
+
+
+class ExplorationLimit(RuntimeError):
+    """Raised when a table would exceed the caller's ``max_leaves``."""
+
+    def __init__(self, input_args: tuple, leaves: int):
+        super().__init__(
+            f"exploration of input {input_args!r} exceeded {leaves} leaves"
+        )
+        #: The explored input (``args`` would clobber BaseException.args).
+        self.input_args = input_args
+        self.leaves = leaves
+
+
+def domains_from_registry(
+    registry,
+) -> Tuple[Dict[int, int], Dict[int, int]]:
+    """(arity, cost-per-correction) maps for a
+    :class:`~repro.tilde.nodes.HoleRegistry` — free rule-RHS holes cost 0."""
+    arity: Dict[int, int] = {}
+    cost: Dict[int, int] = {}
+    for info in registry.holes():
+        arity[info.cid] = info.arity
+        cost[info.cid] = 0 if info.free else 1
+    return arity, cost
+
+
+class PathForker:
+    """Explores the candidate space of a program one input at a time.
+
+    ``runner`` is any path runner exposing the two-method protocol
+
+    - ``run_recorded(args, assignment) -> RunResult`` — execute under the
+      assignment with a touched-hole record that covers the *whole* run
+      (including top-level re-execution for stateful modules), raising
+      :class:`~repro.mpy.errors.MPYRuntimeError` on dynamic errors;
+    - ``cube() -> dict`` — the record of the last run, insertion-ordered
+      by first read.
+
+    Both execution backends provide one: the compiled program itself
+    (:meth:`~repro.compile.compiler.CompiledProgram.run_recorded`) and the
+    tree-walker fallback (:class:`~repro.symbolic.recorder.InterpPathRunner`).
+    """
+
+    def __init__(
+        self,
+        runner,
+        arity: Dict[int, int],
+        cost: Optional[Dict[int, int]] = None,
+        compare_stdout: bool = False,
+    ):
+        self.runner = runner
+        self.arity = arity
+        self.cost = cost if cost is not None else {}
+        self.compare_stdout = compare_stdout
+
+    def explore(
+        self,
+        args: tuple,
+        pinned: Optional[Dict[int, int]] = None,
+        budget: Optional[int] = None,
+        fork: Optional[Callable[[int], bool]] = None,
+        deadline: Optional[float] = None,
+        max_leaves: Optional[int] = None,
+    ) -> ExplorationTable:
+        """The complete table of (cube → outcome) leaves for ``args``.
+
+        Raises TimeoutError past ``deadline`` (time.monotonic) and
+        :class:`ExplorationLimit` past ``max_leaves``.
+        """
+        pinned = dict(pinned or {})
+        runner = self.runner
+        arity = self.arity
+        leaves: List[Leaf] = []
+        #: Decision stack: [cid, branch] in first-read order; replaying it
+        #: reproduces the shared path prefix of the next leaf.
+        stack: List[List[int]] = []
+        assignment = dict(pinned)
+        runs = 0
+        while True:
+            runs += 1
+            if (
+                deadline is not None
+                and runs % 64 == 0
+                and time.monotonic() > deadline
+            ):
+                raise TimeoutError("exploration deadline exceeded")
+            outcome = outcome_of(
+                lambda: runner.run_recorded(args, assignment),
+                self.compare_stdout,
+            )
+            touched = runner.cube()
+            for cid in touched:
+                # A fresh choice point: not pinned, not yet decided, and
+                # in the fork set. It resolved to branch 0 on this run.
+                if cid in assignment or cid not in arity:
+                    continue
+                if fork is not None and not fork(cid):
+                    continue
+                stack.append([cid, 0])
+                assignment[cid] = 0
+            leaves.append(Leaf(cube=touched, outcome=outcome))
+            if max_leaves is not None and len(leaves) > max_leaves:
+                raise ExplorationLimit(args, max_leaves)
+            if not self._advance(stack, budget):
+                break
+            assignment = dict(pinned)
+            for cid, branch in stack:
+                assignment[cid] = branch
+        return ExplorationTable(
+            args=args, leaves=leaves, runs=runs, budget=budget, pinned=pinned
+        )
+
+    def _advance(self, stack: List[List[int]], budget: Optional[int]) -> bool:
+        """Move to the next unexplored path: advance the deepest decision
+        with an affordable sibling, dropping the decisions below it."""
+        cost = self.cost
+        spent = 0
+        if budget is not None:
+            spent = sum(cost.get(cid, 1) for cid, branch in stack if branch)
+        while stack:
+            cid, branch = stack[-1]
+            step = cost.get(cid, 1) if budget is not None else 0
+            base = spent - (step if branch else 0)
+            if branch + 1 < self.arity[cid] and (
+                budget is None or base + step <= budget
+            ):
+                stack[-1][1] = branch + 1
+                return True
+            stack.pop()
+            spent = base
+        return False

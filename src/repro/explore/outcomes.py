@@ -1,0 +1,63 @@
+"""Observable outcomes of (M̃)PY runs.
+
+An *outcome* is ``("ok", value, stdout)`` or ``("error",)``: student code
+that raises (bad index, type confusion, non-termination by fuel) is
+observably different from code that returns. The format is shared by the
+bounded verifier (:mod:`repro.engines.verify`, which re-exports these
+names) and the exploration tables (:mod:`repro.explore.table`), so a
+table leaf can be compared against a reference outcome directly.
+
+This module sits below the engine layer on purpose: the explorer needs
+outcomes without depending on verification, and the verifier needs them
+without depending on exploration.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Tuple
+
+from repro.mpy.errors import MPYRuntimeError
+from repro.mpy.interp import RunResult
+
+Outcome = Tuple  # ("ok", value, stdout) | ("error",)
+
+OK = "ok"
+ERROR = "error"
+
+
+def outcome_of(run: Callable[[], RunResult], compare_stdout: bool) -> Outcome:
+    try:
+        result = run()
+    except MPYRuntimeError:
+        return (ERROR,)
+    stdout = result.stdout if compare_stdout else ()
+    return (OK, result.value, stdout)
+
+
+def typed_equal(a, b) -> bool:
+    """Deep equality that distinguishes types Python's ``==`` conflates.
+
+    ``True == 1`` and ``[True] == [1]`` hold in Python, but under the
+    paper's MultiType flags BOOL and INTEGER are different dynamic types, so
+    returning one where the reference returns the other must count as a
+    mismatch.
+    """
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, (list, tuple)):
+        return len(a) == len(b) and all(
+            typed_equal(x, y) for x, y in zip(a, b)
+        )
+    if isinstance(a, dict):
+        if set(a.keys()) != set(b.keys()):
+            return False
+        return all(typed_equal(a[k], b[k]) for k in a)
+    return a == b
+
+
+def outcomes_match(expected: Outcome, actual: Outcome) -> bool:
+    if expected[0] != actual[0]:
+        return False
+    if expected[0] == ERROR:
+        return True
+    return typed_equal(expected[1], actual[1]) and expected[2] == actual[2]

@@ -1,0 +1,124 @@
+"""Exploration tables: (touched-hole cube → outcome) maps for one input.
+
+A :class:`Leaf` is one complete execution path of an M̃PY program on one
+input: the *cube* of holes the run actually read (with the branches they
+took, in first-read order) and the observable :data:`~repro.explore.outcomes.Outcome`.
+Execution is deterministic, so every full hole assignment that agrees
+with a leaf's cube replays the identical run — the leaf speaks for the
+whole cube of agreeing assignments.
+
+An :class:`ExplorationTable` is the set of leaves produced by the path
+forker for one input. When forking was unrestricted, the cubes partition
+the entire candidate space: :meth:`ExplorationTable.lookup` classifies any
+assignment by walking a trie keyed on first-read order, without running
+the program.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.explore.outcomes import Outcome, outcomes_match
+
+
+@dataclass
+class Leaf:
+    """One execution path: the holes it read and what it produced.
+
+    ``cube`` preserves first-read order (dict insertion order), which is
+    what lets the table rebuild the choice-point trie without re-running
+    anything.
+    """
+
+    cube: Dict[int, int]
+    outcome: Outcome
+
+
+class _Node:
+    """Internal trie node: the next hole read, children by branch."""
+
+    __slots__ = ("cid", "children")
+
+    def __init__(self, cid: int):
+        self.cid = cid
+        self.children: Dict[int, object] = {}
+
+
+@dataclass
+class ExplorationTable:
+    """All reachable execution paths of one input, as cube → outcome leaves.
+
+    ``budget`` records the correction-cost bound the forker explored under
+    (``None`` = unbounded): lookups are exact for every assignment whose
+    cost fits the budget, and return ``None`` beyond it. ``pinned`` records
+    the partial assignment the exploration was restricted to.
+    """
+
+    args: tuple
+    leaves: List[Leaf]
+    runs: int = 0
+    budget: Optional[int] = None
+    pinned: Dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self):
+        self._trie: Optional[object] = None
+
+    def __len__(self) -> int:
+        return len(self.leaves)
+
+    # -- classification ------------------------------------------------------
+
+    def _build_trie(self):
+        """Rebuild the choice-point tree from the leaves' read orders."""
+        root: Optional[object] = None
+        for leaf in self.leaves:
+            path = list(leaf.cube.items())
+            if not path:
+                # A run that read no holes: the table is this single leaf.
+                return leaf
+            if root is None:
+                root = _Node(path[0][0])
+            node = root
+            for index, (cid, branch) in enumerate(path):
+                last = index == len(path) - 1
+                if last:
+                    node.children[branch] = leaf
+                    break
+                child = node.children.get(branch)
+                if child is None:
+                    child = _Node(path[index + 1][0])
+                    node.children[branch] = child
+                node = child
+        return root
+
+    def leaf_for(self, assignment: Dict[int, int]) -> Optional[Leaf]:
+        """The leaf whose path ``assignment`` replays, or None if the
+        exploration (budget/pinning) did not cover that region."""
+        if self._trie is None:
+            self._trie = self._build_trie()
+        node = self._trie
+        while isinstance(node, _Node):
+            node = node.children.get(assignment.get(node.cid, 0))
+            if node is None:
+                return None
+        return node
+
+    def lookup(self, assignment: Dict[int, int]) -> Optional[Outcome]:
+        """The outcome ``assignment`` produces on this input — a pure table
+        walk, no execution."""
+        leaf = self.leaf_for(assignment)
+        return None if leaf is None else leaf.outcome
+
+    def split(
+        self, expected: Outcome
+    ) -> Tuple[List[Leaf], List[Leaf]]:
+        """Partition leaves into (matching, failing) against ``expected``."""
+        matching: List[Leaf] = []
+        failing: List[Leaf] = []
+        for leaf in self.leaves:
+            if outcomes_match(expected, leaf.outcome):
+                matching.append(leaf)
+            else:
+                failing.append(leaf)
+        return matching, failing

@@ -9,7 +9,6 @@ published numbers (EXPERIMENTS.md records a full run).
 from __future__ import annotations
 
 import statistics
-import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -19,7 +18,7 @@ from repro.engines import BoundedVerifier
 from repro.engines.base import Engine
 from repro.problems import Problem, all_problems, get_problem
 from repro.service.runner import BatchItem, BatchRunner
-from repro.studentgen import Corpus, Submission, generate_corpus
+from repro.studentgen import Corpus, generate_corpus
 
 DEFAULT_TIMEOUT = 45.0
 
@@ -85,6 +84,7 @@ def run_problem(
     verifier: Optional[BoundedVerifier] = None,
     jobs: int = 1,
     backend: Optional[str] = None,
+    explorer: Optional[bool] = None,
 ) -> ProblemRun:
     """Run the feedback pipeline over a problem's (synthetic) test set.
 
@@ -92,7 +92,9 @@ def run_problem(
     α-renamed) submissions are solved once, and ``jobs > 1`` fans the
     distinct ones out over a process pool. ``engine`` instances are a
     serial-only feature; parallel runs name their engine. ``backend``
-    selects the execution substrate (compiled closures by default).
+    selects the execution substrate (compiled closures by default);
+    ``explorer`` toggles exploration-table blocking (on by default —
+    ``False`` is the per-candidate-sweep ablation).
     """
     if corpus is None:
         corpus = generate_corpus(
@@ -113,6 +115,7 @@ def run_problem(
         engine=engine,
         verifier=verifier,
         backend=backend,
+        explorer=explorer,
     )
     items = [
         BatchItem(sid=f"s{index:04d}", source=submission.source)
@@ -143,6 +146,7 @@ def run_table1(
     problems: Optional[Sequence[str]] = None,
     jobs: int = 1,
     backend: Optional[str] = None,
+    explorer: Optional[bool] = None,
 ) -> List[Tuple[Problem, ProblemRun]]:
     selected = (
         [get_problem(name) for name in problems]
@@ -158,6 +162,7 @@ def run_table1(
             timeout_s=timeout_s,
             jobs=jobs,
             backend=backend,
+            explorer=explorer,
         )
         results.append((problem, run))
     return results

@@ -10,7 +10,6 @@ rendering for choice nodes.
 
 from __future__ import annotations
 
-from typing import Optional
 
 from repro.mpy import nodes as N
 from repro.mpy.errors import MPYError

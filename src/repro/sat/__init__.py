@@ -14,6 +14,17 @@ package implements the substrate from scratch:
 """
 
 from repro.sat.solver import SAT, UNSAT, Solver
-from repro.sat.cardinality import CountingNetwork
+from repro.sat.cardinality import (
+    PAIRWISE_AMO_MAX,
+    CountingNetwork,
+    encode_at_most_one,
+)
 
-__all__ = ["Solver", "SAT", "UNSAT", "CountingNetwork"]
+__all__ = [
+    "Solver",
+    "SAT",
+    "UNSAT",
+    "CountingNetwork",
+    "PAIRWISE_AMO_MAX",
+    "encode_at_most_one",
+]

@@ -34,6 +34,11 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Unio
 
 from repro.compile import default_backend, set_default_backend, using_backend
 from repro.core.api import FeedbackReport, generate_feedback
+from repro.explore import (
+    resolve_explorer,
+    set_default_explorer,
+    using_explorer,
+)
 
 if TYPE_CHECKING:
     from repro.engines.verify import BoundedVerifier
@@ -115,12 +120,15 @@ def _worker_init(
     engine_name: str,
     timeout_s: float,
     backend: str,
+    explorer: bool,
 ) -> None:
     from repro.engines.verify import BoundedVerifier
 
-    # Pin the execution backend explicitly: workers must match the parent
-    # runner's substrate even under spawn-based process start methods.
+    # Pin the execution backend and explorer mode explicitly: workers must
+    # match the parent runner's configuration even under spawn-based
+    # process start methods.
     set_default_backend(backend)
+    set_default_explorer(explorer)
     verifier = BoundedVerifier(spec)
     verifier.inputs  # materialize the reference table up front
     _WORKER.update(
@@ -160,6 +168,7 @@ class BatchRunner:
         progress: Optional[ProgressFn] = None,
         verifier: Optional["BoundedVerifier"] = None,
         backend: Optional[str] = None,
+        explorer: Optional[bool] = None,
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -182,6 +191,12 @@ class BatchRunner:
         #: Execution substrate ("compiled" / "interp"); ``None`` defers to
         #: the process default at grading time.
         self.backend = backend
+        #: Exploration-table blocking on/off, resolved once here (``None``
+        #: = the process default *now*): the cache-key label below and the
+        #: grading mode must come from the same resolution, or a default
+        #: flipped between construction and run() would store results
+        #: under the other configuration's key.
+        self.explorer = resolve_explorer(explorer)
         self.stats = BatchStats()
         self._model_digest = model_digest(self.model)
         engine_label = (
@@ -189,6 +204,11 @@ class BatchRunner:
             if isinstance(self.engine, str)
             else type(self.engine).__name__
         )
+        # Explorer on/off yields equally minimal but possibly different
+        # fixes; the ablation must not be served results from the default
+        # configuration (or vice versa).
+        if not self.explorer:
+            engine_label += "+sweep"
         #: Everything identity-relevant except the submission itself; a
         #: stored result is only reusable under the same problem, model,
         #: engine and solver budget.
@@ -333,7 +353,7 @@ class BatchRunner:
 
         spec = self.problem.spec
         engine = self.engine
-        with using_backend(self.backend):
+        with using_backend(self.backend), using_explorer(self.explorer):
             verifier = self.verifier or _verifier_cache(spec)
             for index in indices:
                 report = generate_feedback(
@@ -362,6 +382,7 @@ class BatchRunner:
                 engine_name,
                 self.timeout_s,
                 self.backend or default_backend(),
+                self.explorer,
             ),
         ) as pool:
             futures = {

@@ -18,7 +18,7 @@ from __future__ import annotations
 import random
 import zlib
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Tuple
 
 from repro.core.api import ALREADY_CORRECT, grade_submission
 from repro.core.spec import ProblemSpec

@@ -80,6 +80,48 @@ class RecordingInterpreter(Interpreter):
         super().assign_target(target, value, env)
 
 
+class InterpPathRunner:
+    """Tree-walker path runner for the explorer (the escape hatch).
+
+    Implements the :class:`~repro.explore.forker.PathForker` runner
+    protocol on the interpreter backend so the exploration tables stay
+    differential-testable against the compiled substrate. Stateless
+    modules reuse one interpreter; stateful modules rebuild per path so
+    top-level choice reads land in the cube — including when top-level
+    execution itself raises (the instance is kept reachable so its
+    partial touched record is the failing path's cube, mirroring the
+    compiled backend's lazy-error behavior).
+    """
+
+    def __init__(self, module: N.Module, function: str, fuel: int):
+        self.module = module
+        self.function = function
+        self.fuel = fuel
+        self.stateful = any(
+            not isinstance(stmt, N.FuncDef) for stmt in module.body
+        )
+        self._interp: Optional[RecordingInterpreter] = None
+
+    def run_recorded(
+        self, args: tuple, assignment: Dict[int, int]
+    ) -> RunResult:
+        if self.stateful or self._interp is None:
+            # Two-phase construction: __init__ executes the module top
+            # level and can raise; holding the instance first keeps the
+            # partial touch record readable through cube().
+            interp = RecordingInterpreter.__new__(RecordingInterpreter)
+            self._interp = interp
+            interp.__init__(self.module, dict(assignment), fuel=self.fuel)
+            return interp.call(self.function, args)
+        return self._interp.run(
+            self.function, args, assignment=dict(assignment)
+        )
+
+    def cube(self) -> Dict[int, int]:
+        assert self._interp is not None
+        return self._interp.cube()
+
+
 def run_candidate(
     module: N.Module,
     function: str,

@@ -25,9 +25,7 @@ from repro.tilde.nodes import (
     ChoiceExpr,
     ChoiceStmt,
     HoleRegistry,
-    collect_choices,
     instantiate,
-    instantiate_block,
 )
 
 

@@ -23,8 +23,12 @@ from repro.compile.compiler import CompiledProgram
 from repro.core.spec import ProblemSpec
 from repro.core.rewriter import rewrite_submission
 from repro.eml import parse_error_model
-from repro.engines import BoundedVerifier, CegisMinEngine, EnumerativeEngine
-from repro.engines.cegismin import _CandidateRunner
+from repro.engines import (
+    BoundedVerifier,
+    CandidateSpace,
+    CegisMinEngine,
+    EnumerativeEngine,
+)
 from repro.mpy import parse_program
 from repro.mpy.values import Bounds
 from repro.symbolic.recorder import RecordingInterpreter
@@ -114,13 +118,15 @@ class TestSelection:
         with using_backend(None) as active:
             assert active == COMPILED
 
-    def test_candidate_runner_substrates(self, fig2_space, deriv_spec):
-        tilde, _ = fig2_space
-        compiled = _CandidateRunner(
-            tilde, "computeDeriv", 1000, backend=COMPILED
+    def test_candidate_space_substrates(self, fig2_space, deriv_spec):
+        tilde, registry = fig2_space
+        compiled = CandidateSpace(
+            tilde, "computeDeriv", 1000, registry=registry, backend=COMPILED
         )
         assert isinstance(compiled._program, CompiledProgram)
-        walker = _CandidateRunner(tilde, "computeDeriv", 1000, backend=INTERP)
+        walker = CandidateSpace(
+            tilde, "computeDeriv", 1000, registry=registry, backend=INTERP
+        )
         assert walker._program is None
         result_c = compiled.run({}, ([1, 2],))
         result_i = walker.run({}, ([1, 2],))

@@ -1,6 +1,5 @@
 """Tests for the public API: classification statuses and report shape."""
 
-import pytest
 
 from repro.core import ProblemSpec, generate_feedback, grade_submission
 from repro.core.api import (

@@ -1,9 +1,7 @@
 """Tests for the T_E transformation (paper Section 3.3, Figs. 9–10)."""
 
-import pytest
 
 from repro.eml import apply_error_model, parse_error_model
-from repro.eml.transform import Transformer
 from repro.mpy import nodes as N
 from repro.mpy import parse_expression, parse_program, to_source
 from repro.mpy.values import IntType, ListType
@@ -12,7 +10,6 @@ from repro.tilde import (
     ChoiceExpr,
     ChoiceStmt,
     candidate_count,
-    collect_choices,
     instantiate,
 )
 from repro.tilde.nodes import instantiate_block

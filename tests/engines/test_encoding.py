@@ -1,6 +1,5 @@
 """SAT-level tests of the hole encoding: one-hot, activation, cost."""
 
-import pytest
 
 from repro.engines.encoding import HoleEncoding
 from repro.mpy import nodes as N
@@ -68,6 +67,31 @@ class TestBlocking:
         registry, solver, encoding = build(root)
         encoding.block_cube({})
         assert solver.solve() == UNSAT
+
+
+class TestWideHoles:
+    def test_wide_hole_stays_one_hot(self):
+        # Arity 8 crosses the pairwise/sequential AMO threshold: the
+        # encoding switch must be invisible at the model level.
+        root = N.Return(value=_choice(0, *"abcdefgh"))
+        registry, solver, encoding = build(root)
+        seen = set()
+        while solver.solve() == SAT:
+            assignment = encoding.assignment_from_model()
+            assert set(assignment) <= {0}
+            seen.add(assignment.get(0, 0))
+            encoding.block_assignment(assignment)
+        assert seen == set(range(8))
+
+    def test_wide_hole_cost_semantics(self):
+        root = N.Return(value=_choice(0, *"abcdefgh"))
+        registry, solver, encoding = build(root)
+        assert solver.solve(assumptions=encoding.bound_assumptions(0)) == SAT
+        assert encoding.assignment_from_model() == {}
+        encoding.block_assignment({})
+        assert solver.solve(assumptions=encoding.bound_assumptions(0)) == UNSAT
+        assert solver.solve(assumptions=encoding.bound_assumptions(1)) == SAT
+        assert encoding.model_cost() == 1
 
 
 class TestCostBounds:

@@ -8,11 +8,11 @@ minimal by construction since it enumerates in cost order).
 import pytest
 
 from repro.core.spec import ProblemSpec
-from repro.eml import apply_error_model, parse_error_model
+from repro.eml import parse_error_model
 from repro.engines import BoundedVerifier, CegisMinEngine, EnumerativeEngine
 from repro.engines.base import FIXED, NO_FIX
 from repro.engines.enumerative import assignments_up_to_cost
-from repro.mpy import parse_program, to_source
+from repro.mpy import parse_program
 from repro.mpy.values import Bounds
 from repro.tilde.nodes import instantiate
 from repro.tilde.semantics import assignment_cost

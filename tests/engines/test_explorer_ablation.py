@@ -1,0 +1,204 @@
+"""Explorer ablation: table-based blocking vs per-candidate sweeps.
+
+The contract of the `--explorer on|off` knob: both modes search the same
+space under the same cost semantics, so engines must return equivalent
+``EngineResult`` fixes — same status, same (minimal) cost, same
+minimality proof — the tables only change *how fast* failing regions are
+ruled out. Plus the regression tests for the satellite fixes that ride
+along: whole-run SAT statistics under non-incremental solving, and the
+removal of the capped ``_bulk_refute`` heuristic.
+"""
+
+import pytest
+
+from repro.core.spec import ProblemSpec
+from repro.core.rewriter import rewrite_submission
+from repro.eml import parse_error_model
+from repro.engines import BoundedVerifier, CegisMinEngine, EnumerativeEngine
+from repro.engines.base import FIXED
+from repro.mpy import parse_program
+from repro.mpy.values import Bounds
+from repro.problems import get_problem
+
+BOUNDS = Bounds(int_bits=3, max_list_len=3)
+
+DERIV_REF = """def computeDeriv_list_int(poly_list_int):
+    result = []
+    for i in range(len(poly_list_int)):
+        result += [i * poly_list_int[i]]
+    if len(poly_list_int) == 1:
+        return result
+    else:
+        return result[1:]
+"""
+
+SIMPLE_MODEL = """
+rule RETR: return a -> return [0]
+rule RANR: range(a1, a2) -> range(a1 + 1, a2)
+rule COMPR: a0 == a1 -> False
+"""
+
+FIG2A = """def computeDeriv(poly):
+    deriv = []
+    zero = 0
+    if (len(poly) == 1):
+        return deriv
+    for e in range(0,len(poly)):
+        if (poly[e] == 0):
+            zero += 1
+        else:
+            deriv.append(poly[e]*e)
+    return deriv
+"""
+
+FIG2B = """def computeDeriv(poly):
+    idx = 1
+    deriv = list([])
+    plen = len(poly)
+    while idx < plen:
+        coeff = poly.pop(1)
+        deriv += [coeff * idx]
+        idx = idx + 1
+    if len(poly) < 2:
+        return deriv
+"""
+
+
+@pytest.fixture(scope="module")
+def deriv_spec():
+    return ProblemSpec.from_typed_reference(
+        "computeDeriv", DERIV_REF, bounds=BOUNDS
+    )
+
+
+@pytest.fixture(scope="module")
+def deriv_verifier(deriv_spec):
+    return BoundedVerifier(deriv_spec)
+
+
+def _prepare(spec, model_text, student_source):
+    model = parse_error_model(model_text)
+    return rewrite_submission(parse_program(student_source), spec, model)
+
+
+@pytest.fixture(scope="module")
+def full_model_space():
+    """Fig. 2(a) under the full computeDeriv model: free holes galore."""
+    problem = get_problem("compDeriv-6.00x")
+    tilde, registry = rewrite_submission(
+        parse_program(FIG2A), problem.spec, problem.model
+    )
+    verifier = BoundedVerifier(problem.spec)
+    return problem, tilde, registry, verifier
+
+
+class TestCegisMinParity:
+    def test_identical_fix_on_simple_model(self, deriv_spec, deriv_verifier):
+        tilde, registry = _prepare(deriv_spec, SIMPLE_MODEL, FIG2A)
+        on = CegisMinEngine(explorer=True).solve(
+            tilde, registry, deriv_spec, deriv_verifier, timeout_s=60
+        )
+        off = CegisMinEngine(explorer=False).solve(
+            tilde, registry, deriv_spec, deriv_verifier, timeout_s=60
+        )
+        assert (on.status, on.cost, on.minimal) == (FIXED, 3, True)
+        assert (off.status, off.cost, off.minimal) == (FIXED, 3, True)
+
+    @pytest.mark.parametrize(
+        "source,cost", [(FIG2A, 2), (FIG2B, 1)], ids=["fig2a", "fig2b"]
+    )
+    def test_identical_fix_on_full_model(self, full_model_space, source, cost):
+        problem, _, _, verifier = full_model_space
+        tilde, registry = rewrite_submission(
+            parse_program(source), problem.spec, problem.model
+        )
+        results = {
+            explorer: CegisMinEngine(explorer=explorer).solve(
+                tilde, registry, problem.spec, verifier, timeout_s=120
+            )
+            for explorer in (True, False)
+        }
+        on, off = results[True], results[False]
+        assert (on.status, on.cost, on.minimal) == (FIXED, cost, True)
+        assert (off.status, off.cost, off.minimal) == (FIXED, cost, True)
+        # The tables do strictly less proposing: every round kills a whole
+        # failing region instead of one candidate's cube.
+        assert on.stats["sat_calls"] <= off.stats["sat_calls"]
+        assert on.stats["table_leaves"] > 0
+        assert off.stats["table_leaves"] == 0
+
+    def test_explorer_setting_lands_in_stats(self, deriv_spec, deriv_verifier):
+        tilde, registry = _prepare(deriv_spec, SIMPLE_MODEL, FIG2A)
+        on = CegisMinEngine(explorer=True).solve(
+            tilde, registry, deriv_spec, deriv_verifier, timeout_s=60
+        )
+        off = CegisMinEngine(explorer=False).solve(
+            tilde, registry, deriv_spec, deriv_verifier, timeout_s=60
+        )
+        assert on.stats["explorer"] is True
+        assert off.stats["explorer"] is False
+
+
+class TestEnumerativeParity:
+    def test_identical_result_and_assignment(self, deriv_spec, deriv_verifier):
+        tilde, registry = _prepare(deriv_spec, SIMPLE_MODEL, FIG2A)
+        on = EnumerativeEngine(max_cost=4, explorer=True).solve(
+            tilde, registry, deriv_spec, deriv_verifier, timeout_s=60
+        )
+        off = EnumerativeEngine(max_cost=4, explorer=False).solve(
+            tilde, registry, deriv_spec, deriv_verifier, timeout_s=60
+        )
+        # Enumeration order is deterministic, and tables classify exactly
+        # like runs — so even the chosen assignment is identical.
+        assert on.status == off.status == FIXED
+        assert on.cost == off.cost
+        assert on.assignment == off.assignment
+        assert on.iterations == off.iterations
+        assert on.stats["tables"] > 0
+        assert off.stats["tables"] == 0
+
+    def test_table_rejection_skips_candidate_runs(
+        self, deriv_spec, deriv_verifier
+    ):
+        tilde, registry = _prepare(deriv_spec, SIMPLE_MODEL, FIG2A)
+        on = EnumerativeEngine(max_cost=4, explorer=True).solve(
+            tilde, registry, deriv_spec, deriv_verifier, timeout_s=60
+        )
+        # Every seed input got a table; rejection was trie walks.
+        assert on.stats["tables"] == on.counterexamples
+        assert on.stats["table_leaves"] > 0
+
+
+class TestBulkRefuteIsGone:
+    def test_no_bulk_refute_remains(self):
+        assert not hasattr(CegisMinEngine, "_bulk_refute")
+        assert not hasattr(CegisMinEngine(), "bulk_refute_cap")
+
+
+class TestNonIncrementalStats:
+    def test_sat_stats_accumulate_across_rebuilds(
+        self, deriv_spec, deriv_verifier
+    ):
+        tilde, registry = _prepare(deriv_spec, SIMPLE_MODEL, FIG2A)
+
+        discarded = []
+
+        class Instrumented(CegisMinEngine):
+            def _rebuild(self, registry, blocked, old_solver, sat_base):
+                discarded.append(dict(old_solver.stats))
+                return super()._rebuild(
+                    registry, blocked, old_solver, sat_base
+                )
+
+        result = Instrumented(incremental=False).solve(
+            tilde, registry, deriv_spec, deriv_verifier, timeout_s=60
+        )
+        assert result.status == FIXED
+        assert discarded, "the workload must trigger at least one rebuild"
+        # The reported totals must cover every discarded solver, not just
+        # the last rebuild (the pre-fix behavior lost all but the tail).
+        floor_conflicts = sum(s["conflicts"] for s in discarded)
+        floor_decisions = sum(s["decisions"] for s in discarded)
+        assert result.stats["sat_conflicts"] >= floor_conflicts
+        assert result.stats["sat_decisions"] >= floor_decisions
+        assert result.stats["sat_decisions"] >= len(discarded)

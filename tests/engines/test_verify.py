@@ -1,6 +1,5 @@
 """Tests for the bounded verifier."""
 
-import pytest
 
 from repro.core.spec import ProblemSpec
 from repro.engines.verify import (
@@ -11,7 +10,7 @@ from repro.engines.verify import (
 )
 from repro.mpy import parse_program
 from repro.mpy.interp import Interpreter
-from repro.mpy.values import Bounds, IntType
+from repro.mpy.values import Bounds
 
 
 def _spec(source, bounds=None, **kwargs):

@@ -9,7 +9,6 @@ import pytest
 
 from repro.core import generate_feedback, grade_submission
 from repro.core.api import ALREADY_CORRECT
-from repro.engines import BoundedVerifier
 from repro.problems import all_problems, get_problem
 
 #: (problem, buggy submission, expected max corrections)

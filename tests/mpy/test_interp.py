@@ -3,7 +3,7 @@
 import pytest
 
 from repro.mpy import parse_program, run_function
-from repro.mpy.errors import MPYRuntimeError, OutOfFuel
+from repro.mpy.errors import OutOfFuel
 from tests.helpers import run, run_expect_error, run_full
 
 

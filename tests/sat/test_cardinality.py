@@ -1,11 +1,17 @@
 """Tests for the sequential-counter cardinality encoding."""
 
-import itertools
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.sat import SAT, UNSAT, CountingNetwork, Solver
+from repro.sat import (
+    PAIRWISE_AMO_MAX,
+    SAT,
+    UNSAT,
+    CountingNetwork,
+    Solver,
+    encode_at_most_one,
+)
 
 
 def fresh(n):
@@ -74,3 +80,54 @@ class TestCountingNetwork:
         result = solver.solve(assumptions=network.bound_assumption(bound))
         expected = SAT if true_count <= bound else UNSAT
         assert result == expected
+
+
+def _amo_models(n, pairwise_max):
+    """All models of AMO(x_1..x_n), projected onto the x variables."""
+    solver = Solver()
+    lits = [solver.new_var() for _ in range(n)]
+    encode_at_most_one(solver, lits, pairwise_max=pairwise_max)
+    models = set()
+    while solver.solve() == SAT:
+        model = tuple(solver.model_value(x) for x in lits)
+        models.add(model)
+        # Block this projection (auxiliaries may vary freely, so block on
+        # the x variables only — the projection is what must agree).
+        solver.add_clause(
+            [-x if value else x for x, value in zip(lits, model)]
+        )
+    return models
+
+
+class TestAtMostOne:
+    def test_small_sets_use_no_auxiliaries(self):
+        solver = Solver()
+        lits = [solver.new_var() for _ in range(PAIRWISE_AMO_MAX)]
+        encode_at_most_one(solver, lits)
+        assert solver.num_vars == len(lits)
+
+    def test_wide_sets_use_the_ladder(self):
+        solver = Solver()
+        lits = [solver.new_var() for _ in range(PAIRWISE_AMO_MAX + 1)]
+        encode_at_most_one(solver, lits)
+        assert solver.num_vars == 2 * len(lits) - 1
+
+    @settings(max_examples=20, deadline=None)
+    @given(n=st.integers(min_value=0, max_value=9))
+    def test_projected_models_equal_pairwise(self, n):
+        """The encodings are interchangeable: same models over the x's."""
+        sequential = _amo_models(n, pairwise_max=0)
+        pairwise = _amo_models(n, pairwise_max=n + 1)
+        expected = {tuple(False for _ in range(n))} | {
+            tuple(i == j for j in range(n)) for i in range(n)
+        }
+        assert sequential == pairwise == expected
+
+    def test_two_true_is_conflict_under_both(self):
+        for pairwise_max in (0, 99):
+            solver = Solver()
+            lits = [solver.new_var() for _ in range(7)]
+            encode_at_most_one(solver, lits, pairwise_max=pairwise_max)
+            solver.add_clause([lits[2]])
+            solver.add_clause([lits[5]])
+            assert solver.solve() == UNSAT

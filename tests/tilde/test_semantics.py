@@ -12,7 +12,6 @@ from repro.tilde import (
     assignment_cost,
     candidate_count,
     enumerate_assignments,
-    instantiate,
     weighted_programs,
 )
 from repro.tilde.semantics import canonical_assignment, weighted_set
