@@ -8,7 +8,10 @@ Subcommands:
   Fig. 2-style feedback block;
 - ``batch DIR --problem NAME`` — grade a directory of submissions through
   the batch service (parallel workers, result cache, JSONL output,
-  ``--resume`` to continue an interrupted run);
+  ``--resume`` to continue an interrupted run); exits non-zero when any
+  submission timed out or errored;
+- ``serve`` — run the persistent feedback server (warm precompiled
+  problems, admission queue, shared result cache);
 - ``table1`` — regenerate the Table 1 experiment on synthetic corpora.
 """
 
@@ -151,6 +154,67 @@ def cmd_batch(args: argparse.Namespace) -> int:
     )
     print(f"  wall time {stats.wall_time:.2f}s with {args.jobs} job(s)")
     print(f"  results -> {out}")
+    if stats.failures:
+        # Timeouts and internal errors mean the batch did not settle every
+        # submission; scripted pipelines must see that in the exit code.
+        print(
+            f"  FAILED: {stats.failures} submission(s) timed out or "
+            "errored (rerun with --resume and a larger --timeout)"
+        )
+        return 1
+    return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.server import FeedbackHTTPServer, FeedbackService, warm_registry
+    from repro.service import ResultCache
+
+    if args.jobs < 1:
+        raise SystemExit("--jobs must be >= 1")
+    if args.queue < 0:
+        raise SystemExit("--queue must be >= 0")
+
+    def warmed(warm) -> None:
+        print(
+            f"warm {warm.name:22s} {len(warm.verifier.inputs):5d} inputs  "
+            f"{warm.warm_time_s:6.2f}s"
+            + ("" if warm.primed else "  (priming skipped)")
+        )
+
+    print(f"warming {'all' if not args.only else len(args.only)} problems ...")
+    warmup = warm_registry(
+        names=args.only,
+        backend=args.backend,
+        prime=not args.no_prime,
+        progress=warmed,
+    )
+    print(f"warmup done: {len(warmup)} problems in {warmup.total_time_s:.2f}s")
+
+    cache = ResultCache(args.cache) if args.cache else ResultCache()
+    service = FeedbackService(
+        warmup=warmup,
+        jobs=args.jobs,
+        queue_limit=args.queue,
+        cache=cache,
+        default_engine=args.engine,
+        default_timeout_s=args.timeout,
+        backend=args.backend,
+        explorer=args.explorer,
+    )
+    server = FeedbackHTTPServer(
+        service, host=args.host, port=args.port, verbose=args.verbose
+    )
+    print(
+        f"serving on http://{args.host}:{server.port}  "
+        f"(jobs={args.jobs}, queue={args.queue}, "
+        f"cache={args.cache or 'in-memory'})"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\ndraining in-flight gradings ...")
+        server.shutdown_gracefully(drain=True)
+        print("bye")
     return 0
 
 
@@ -236,6 +300,46 @@ def main(argv: Optional[list] = None) -> int:
         help="skip submissions already in the JSONL output",
     )
 
+    serve = sub.add_parser(
+        "serve", help="run the persistent feedback server"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8321)
+    serve.add_argument(
+        "--jobs", type=int, default=2, help="concurrent grading slots"
+    )
+    serve.add_argument(
+        "--queue",
+        type=int,
+        default=16,
+        help="admission queue depth beyond the grading slots "
+        "(overflow gets 429 + Retry-After)",
+    )
+    serve.add_argument(
+        "--cache", default=None, help="persistent result-cache JSON file"
+    )
+    serve.add_argument(
+        "--timeout",
+        type=float,
+        default=45.0,
+        help="default per-submission solver budget",
+    )
+    serve.add_argument(
+        "--engine", default="cegismin", choices=["cegismin", "enumerative"]
+    )
+    serve.add_argument(
+        "--only", nargs="*", default=None, help="warm only these problems"
+    )
+    serve.add_argument(
+        "--no-prime",
+        action="store_true",
+        help="skip the full-pipeline priming grade per problem "
+        "(faster startup, colder first requests)",
+    )
+    serve.add_argument(
+        "--verbose", action="store_true", help="log every HTTP request"
+    )
+
     table1 = sub.add_parser("table1", help="run the Table 1 experiment")
     table1.add_argument("--corpus-size", type=int, default=24)
     table1.add_argument("--seed", type=int, default=0)
@@ -260,6 +364,7 @@ def main(argv: Optional[list] = None) -> int:
         "grade": cmd_grade,
         "feedback": cmd_feedback,
         "batch": cmd_batch,
+        "serve": cmd_serve,
         "table1": cmd_table1,
     }
     return handlers[args.command](args)

@@ -18,7 +18,27 @@ from repro.engines.cegismin import CegisMinEngine
 from repro.engines.enumerative import EnumerativeEngine
 from repro.engines.verify import BoundedVerifier, Outcome, outcomes_match
 
+ENGINES = ("cegismin", "enumerative")
+
+
+def engine_by_name(name: str) -> Engine:
+    """A fresh engine instance for a configuration name.
+
+    Engines carry per-solve state (SAT instance, statistics), so every
+    grading gets its own instance; the batch runner's worker processes
+    and the feedback server's request threads both build engines through
+    this single registry.
+    """
+    if name == "cegismin":
+        return CegisMinEngine()
+    if name == "enumerative":
+        return EnumerativeEngine()
+    raise ValueError(f"unknown engine {name!r}; expected one of {ENGINES}")
+
+
 __all__ = [
+    "ENGINES",
+    "engine_by_name",
     "Engine",
     "EngineResult",
     "CandidateSpace",

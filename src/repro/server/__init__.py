@@ -1,0 +1,57 @@
+"""Persistent feedback server: warm problems, one process, many requests.
+
+The batch layer (:mod:`repro.service`) made *one invocation* grade many
+submissions; this package makes *one process* serve many invocations.
+On startup every registry problem is preloaded into a
+:class:`~repro.server.warm.WarmProblem` — parsed reference, parsed and
+digested error model, compiled-backend reference program, fully
+materialized bounded-verification table, and a priming grade that walks
+the entire pipeline — so a request never recompiles anything.
+
+- :mod:`repro.server.warm` — per-problem warm artifacts + startup
+  self-test;
+- :mod:`repro.server.service` — transport-independent grading core:
+  admission queue with backpressure, in-flight dedup, shared result
+  cache with periodic merge-persistence, graceful drain;
+- :mod:`repro.server.http` — stdlib ``ThreadingHTTPServer`` JSON facade
+  (``POST /grade``, ``GET /problems``, ``GET /healthz``, ``GET
+  /stats``);
+- :mod:`repro.server.client` — stdlib client used by benchmarks and CI.
+
+Start it with ``repro-feedback serve --port 8321 --jobs 4`` (or
+``python -m repro.server``).
+"""
+
+from repro.server.client import FeedbackClient, ServerError
+from repro.server.http import FeedbackHTTPServer, FeedbackRequestHandler
+from repro.server.service import (
+    FeedbackService,
+    GradeOutcome,
+    QueueFull,
+    ServiceClosed,
+    UnknownProblem,
+)
+from repro.server.warm import (
+    Warmup,
+    WarmProblem,
+    WarmupError,
+    warm_problem,
+    warm_registry,
+)
+
+__all__ = [
+    "FeedbackClient",
+    "FeedbackHTTPServer",
+    "FeedbackRequestHandler",
+    "FeedbackService",
+    "GradeOutcome",
+    "QueueFull",
+    "ServerError",
+    "ServiceClosed",
+    "UnknownProblem",
+    "WarmProblem",
+    "Warmup",
+    "WarmupError",
+    "warm_problem",
+    "warm_registry",
+]

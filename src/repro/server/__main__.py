@@ -1,0 +1,33 @@
+"""``python -m repro.server`` — shorthand for ``repro-feedback serve``.
+
+The CLI's ``--backend``/``--explorer`` flags are global (they precede
+the subcommand), so they are hoisted out of the argument list before
+``serve`` is inserted — ``python -m repro.server --backend interp``
+works the same as ``repro-feedback --backend interp serve``.
+"""
+
+import sys
+
+from repro.cli import main
+
+
+def _split_global_flags(argv):
+    global_flags, rest = [], []
+    index = 0
+    while index < len(argv):
+        arg = argv[index]
+        if arg in ("--backend", "--explorer") and index + 1 < len(argv):
+            global_flags.extend(argv[index : index + 2])
+            index += 2
+        elif arg.startswith(("--backend=", "--explorer=")):
+            global_flags.append(arg)
+            index += 1
+        else:
+            rest.append(arg)
+            index += 1
+    return global_flags, rest
+
+
+if __name__ == "__main__":
+    global_flags, rest = _split_global_flags(sys.argv[1:])
+    sys.exit(main([*global_flags, "serve", *rest]))

@@ -1,0 +1,103 @@
+"""A tiny stdlib client for the feedback daemon.
+
+Used by the benchmark harness, the CI smoke test, and anyone scripting
+against a running server without wanting to hand-roll ``http.client``
+calls. One :class:`FeedbackClient` holds a persistent connection
+(keep-alive — the server speaks HTTP/1.1), so request latency measures
+grading, not TCP handshakes.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Optional
+
+
+class ServerError(RuntimeError):
+    """A non-200 response from the feedback server."""
+
+    def __init__(self, status: int, payload: dict):
+        super().__init__(
+            f"HTTP {status}: {payload.get('error', 'unknown error')}"
+        )
+        self.status = status
+        self.payload = payload
+
+    @property
+    def retry_after_s(self) -> Optional[float]:
+        return self.payload.get("retry_after_s")
+
+
+class FeedbackClient:
+    """Blocking JSON client for one feedback server."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8321,
+                 timeout_s: float = 300.0):
+        self.host = host
+        self.port = port
+        self.timeout_s = timeout_s
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout_s
+            )
+        return self._conn
+
+    def _request(
+        self, method: str, path: str, body: Optional[dict] = None
+    ) -> dict:
+        conn = self._connection()
+        headers = {}
+        encoded = None
+        if body is not None:
+            encoded = json.dumps(body).encode("utf-8")
+            headers["Content-Type"] = "application/json"
+        try:
+            conn.request(method, path, body=encoded, headers=headers)
+            response = conn.getresponse()
+            payload = json.loads(response.read() or b"{}")
+            status = response.status
+        except (OSError, http.client.HTTPException):
+            # One reconnect: the server may have idled out the keep-alive.
+            self.close()
+            conn = self._connection()
+            conn.request(method, path, body=encoded, headers=headers)
+            response = conn.getresponse()
+            payload = json.loads(response.read() or b"{}")
+            status = response.status
+        if status != 200:
+            raise ServerError(status, payload)
+        return payload
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    # -- endpoints ----------------------------------------------------------
+
+    def grade(
+        self,
+        problem: str,
+        source: str,
+        engine: Optional[str] = None,
+        timeout_s: Optional[float] = None,
+    ) -> dict:
+        body = {"problem": problem, "source": source}
+        if engine is not None:
+            body["engine"] = engine
+        if timeout_s is not None:
+            body["timeout_s"] = timeout_s
+        return self._request("POST", "/grade", body)
+
+    def problems(self) -> list:
+        return self._request("GET", "/problems")["problems"]
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def stats(self) -> dict:
+        return self._request("GET", "/stats")

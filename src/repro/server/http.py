@@ -1,0 +1,222 @@
+"""The HTTP surface of the feedback daemon (stdlib only).
+
+A :class:`ThreadingHTTPServer` fronting one :class:`~repro.server.
+service.FeedbackService`: each connection gets a thread, each grading
+request flows through the service's admission gate, so the HTTP layer
+never needs its own concurrency story. Endpoints:
+
+- ``POST /grade`` — body ``{"problem": ..., "source": ..., "engine"?,
+  "timeout_s"?}``; responds ``{"record": ..., "key": ..., "cached":
+  ..., "deduped": ..., "wall_time": ...}``;
+- ``GET /problems`` — the warm-problem table;
+- ``GET /healthz`` — liveness (``ok`` / ``draining``);
+- ``GET /stats`` — counters, queue depth, cache statistics.
+
+Errors are JSON too: 400 malformed request, 404 unknown problem or
+path, 429 queue full (with a ``Retry-After`` header), 503 draining.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Optional, Tuple
+
+from repro.server.service import (
+    FeedbackService,
+    QueueFull,
+    ServiceClosed,
+    UnknownProblem,
+)
+
+#: Refuse request bodies past this size: the biggest real submissions are
+#: a few KB, so anything megabytes-large is a mistake or abuse.
+MAX_BODY_BYTES = 1 << 20
+
+#: Oversized bodies up to this bound are read and discarded before the
+#: 400 goes out: replying while the client is still mid-send makes the
+#: kernel RST the connection and the client never sees the error. Beyond
+#: the bound the connection is simply closed (draining would be a DoS).
+DRAIN_CAP_BYTES = 8 * MAX_BODY_BYTES
+
+
+class FeedbackRequestHandler(BaseHTTPRequestHandler):
+    """JSON-over-HTTP shim; all logic lives in the FeedbackService."""
+
+    server_version = "repro-feedback"
+    protocol_version = "HTTP/1.1"
+    #: The handler writes the header block and the JSON body as separate
+    #: TCP segments; without TCP_NODELAY, Nagle holds the body until the
+    #: client's delayed ACK (~40ms) — dwarfing every warm-path latency.
+    disable_nagle_algorithm = True
+
+    # BaseHTTPRequestHandler logs every request to stderr by default;
+    # the daemon's own progress line covers it.
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if self.server.verbose:  # type: ignore[attr-defined]
+            super().log_message(format, *args)
+
+    @property
+    def service(self) -> FeedbackService:
+        return self.server.service  # type: ignore[attr-defined]
+
+    # -- plumbing -----------------------------------------------------------
+
+    def _send_json(
+        self,
+        status: int,
+        payload: dict,
+        headers: Optional[Tuple[Tuple[str, str], ...]] = None,
+        close: bool = False,
+    ) -> None:
+        """``close=True`` ends the keep-alive connection after this
+        response — mandatory whenever the request body may be unread
+        (replying with it still in the stream would desync every
+        subsequent request on the connection)."""
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in headers or ():
+            self.send_header(name, value)
+        if close:
+            self.send_header("Connection", "close")
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(
+        self, status: int, message: str, close: bool = False, **extra
+    ) -> None:
+        self._send_json(status, {"error": message, **extra}, close=close)
+
+    # -- GET ----------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib naming
+        path = self.path.split("?", 1)[0].rstrip("/") or "/"
+        if path == "/healthz":
+            self._send_json(200, self.service.healthz())
+        elif path == "/problems":
+            self._send_json(200, {"problems": self.service.problems_info()})
+        elif path == "/stats":
+            self._send_json(200, self.service.stats())
+        else:
+            self._error(404, f"unknown path {path!r}")
+
+    # -- POST ---------------------------------------------------------------
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib naming
+        path = self.path.split("?", 1)[0].rstrip("/")
+        if path != "/grade":
+            self._error(404, f"unknown path {path!r}", close=True)
+            return
+        try:
+            request = self._read_request()
+        except ValueError as exc:
+            self._error(400, str(exc), close=True)
+            return
+        try:
+            outcome = self.service.grade(**request)
+        except UnknownProblem as exc:
+            known = sorted(self.service.warmup.problems)
+            self._error(404, f"unknown problem {exc.args[0]!r}", known=known)
+        except ValueError as exc:
+            self._error(400, str(exc))
+        except QueueFull as exc:
+            retry_after = max(1, round(exc.retry_after_s))
+            self._send_json(
+                429,
+                {
+                    "error": "grading queue is full",
+                    "retry_after_s": retry_after,
+                },
+                headers=(("Retry-After", str(retry_after)),),
+            )
+        except ServiceClosed:
+            self._error(503, "server is draining")
+        else:
+            self._send_json(
+                200,
+                {
+                    "record": outcome.record,
+                    "key": outcome.key,
+                    "cached": outcome.cached,
+                    "deduped": outcome.deduped,
+                    "wall_time": round(outcome.wall_time, 4),
+                },
+            )
+
+    def _read_request(self) -> dict:
+        length = self.headers.get("Content-Length")
+        try:
+            length = int(length or "")
+        except ValueError:
+            raise ValueError("missing or invalid Content-Length") from None
+        if not 0 < length <= MAX_BODY_BYTES:
+            if 0 < length <= DRAIN_CAP_BYTES:
+                self.rfile.read(length)
+            raise ValueError(
+                f"request body must be 1..{MAX_BODY_BYTES} bytes"
+            )
+        try:
+            payload = json.loads(self.rfile.read(length))
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"request body is not JSON: {exc}") from None
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        problem = payload.get("problem")
+        source = payload.get("source")
+        if not isinstance(problem, str) or not problem:
+            raise ValueError("'problem' must be a non-empty string")
+        if not isinstance(source, str) or not source:
+            raise ValueError("'source' must be a non-empty string")
+        request = {"problem": problem, "source": source}
+        engine = payload.get("engine")
+        if engine is not None:
+            if not isinstance(engine, str):
+                raise ValueError("'engine' must be a string")
+            request["engine"] = engine
+        timeout_s = payload.get("timeout_s")
+        if timeout_s is not None:
+            if not isinstance(timeout_s, (int, float)) or timeout_s <= 0:
+                raise ValueError("'timeout_s' must be a positive number")
+            request["timeout_s"] = float(timeout_s)
+        unknown = set(payload) - {"problem", "source", "engine", "timeout_s"}
+        if unknown:
+            raise ValueError(f"unknown request fields {sorted(unknown)}")
+        return request
+
+
+class FeedbackHTTPServer(ThreadingHTTPServer):
+    """A ThreadingHTTPServer bound to one FeedbackService."""
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        service: FeedbackService,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        verbose: bool = False,
+    ):
+        super().__init__((host, port), FeedbackRequestHandler)
+        self.service = service
+        self.verbose = verbose
+
+    @property
+    def port(self) -> int:
+        return self.server_address[1]
+
+    def serve_in_thread(self) -> threading.Thread:
+        """Run ``serve_forever`` on a daemon thread (tests, benchmarks)."""
+        thread = threading.Thread(
+            target=self.serve_forever, name="repro-feedback-http", daemon=True
+        )
+        thread.start()
+        return thread
+
+    def shutdown_gracefully(self, drain: bool = True) -> None:
+        """Stop accepting connections, drain the service, persist."""
+        self.shutdown()
+        self.service.close(drain=drain)
+        self.server_close()

@@ -1,0 +1,365 @@
+"""The request-serving core: admission, dedup, cache, grading.
+
+:class:`FeedbackService` is the transport-independent heart of the
+feedback daemon — the HTTP layer is a thin JSON shim over it, and tests
+drive it directly with threads. One instance owns:
+
+- the **warm problems** (see :mod:`repro.server.warm`): requests never
+  parse a reference, load a model, or enumerate a bounded space;
+- an **admission gate**: at most ``jobs`` gradings run concurrently;
+  up to ``queue_limit`` more wait their turn, and anything beyond that
+  is rejected immediately with a retry hint (backpressure beats
+  unbounded latency — a queue that can only grow is an outage with
+  extra steps);
+- **in-flight dedup**: concurrent identical submissions (same cache
+  key) ride one grading — the followers await the leader's record
+  without consuming admission slots;
+- one shared :class:`~repro.service.cache.ResultCache` (thread-safe),
+  persisted periodically and on shutdown with merge-before-replace so a
+  CLI batch sharing the cache file cannot be clobbered.
+
+Cache keys are built exactly like :class:`~repro.service.runner.
+BatchRunner`'s, so server, batch runner and one-shot CLI all hit each
+other's entries.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from concurrent.futures import Future
+
+from repro.compile import resolve_backend
+from repro.core.api import generate_feedback
+from repro.engines import ENGINES, engine_by_name
+from repro.explore import resolve_explorer
+from repro.server.warm import Warmup, warm_registry
+from repro.service.cache import ResultCache, cache_key, engine_label
+from repro.service.canonical import canonicalize
+from repro.service.runner import (
+    DEFAULT_TIMEOUT_S,
+    ERROR,
+    error_record,
+)
+from repro.service.records import report_to_record
+
+
+class UnknownProblem(KeyError):
+    """The request names a problem the server did not warm."""
+
+
+class QueueFull(RuntimeError):
+    """Admission rejected the request; retry after ``retry_after_s``."""
+
+    def __init__(self, retry_after_s: float):
+        super().__init__(
+            f"grading queue is full; retry after {retry_after_s:.0f}s"
+        )
+        self.retry_after_s = retry_after_s
+
+
+class ServiceClosed(RuntimeError):
+    """The service is shutting down and takes no new work."""
+
+
+@dataclass
+class GradeOutcome:
+    """One served grading."""
+
+    record: dict
+    key: str
+    #: Served straight from the result cache.
+    cached: bool = False
+    #: Waited on an identical in-flight grading instead of running one.
+    deduped: bool = False
+    #: Request wall time as observed by the service (queue included).
+    wall_time: float = 0.0
+
+
+class FeedbackService:
+    """Thread-safe grading service over a set of warm problems."""
+
+    def __init__(
+        self,
+        warmup: Optional[Warmup] = None,
+        jobs: int = 2,
+        queue_limit: int = 16,
+        cache: Optional[ResultCache] = None,
+        persist_every: int = 32,
+        default_engine: str = "cegismin",
+        default_timeout_s: float = DEFAULT_TIMEOUT_S,
+        backend: Optional[str] = None,
+        explorer: Optional[bool] = None,
+    ):
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        if queue_limit < 0:
+            raise ValueError("queue_limit must be >= 0")
+        if default_engine not in ENGINES:
+            raise ValueError(f"unknown engine {default_engine!r}")
+        self.warmup = warmup if warmup is not None else warm_registry()
+        self.jobs = jobs
+        self.queue_limit = queue_limit
+        self.cache = cache if cache is not None else ResultCache()
+        self.persist_every = persist_every
+        self.default_engine = default_engine
+        self.default_timeout_s = default_timeout_s
+        # Both knobs resolve once at construction: every request grades
+        # under the startup configuration, and the cache-key label always
+        # matches the grading mode.
+        self.backend = resolve_backend(backend)
+        self.explorer = resolve_explorer(explorer)
+
+        self._slots = threading.Semaphore(jobs)
+        self._inflight: Dict[str, Future] = {}
+        self._lock = threading.Lock()  # counters + inflight map
+        self._idle = threading.Condition(self._lock)
+        self._queued = 0
+        self._active = 0
+        #: Requests admitted past the closed-check and not yet returned
+        #: (cache hits and dedup followers included) — what drain waits on.
+        self._pending = 0
+        self._closed = False
+        self._since_persist = 0
+        self._started = time.monotonic()
+        self._served: Dict[str, int] = {}
+        self._counters = {
+            "requests": 0,
+            "graded": 0,
+            "cache_hits": 0,
+            "dedup_hits": 0,
+            "rejected": 0,
+            "errors": 0,
+        }
+        self._by_status: Dict[str, int] = {}
+        #: Exponential moving average of grading wall time, the basis of
+        #: the 429 Retry-After hint.
+        self._avg_grade_s = 0.5
+
+    # -- public API ---------------------------------------------------------
+
+    def grade(
+        self,
+        problem: str,
+        source: str,
+        engine: Optional[str] = None,
+        timeout_s: Optional[float] = None,
+    ) -> GradeOutcome:
+        """Grade one submission; safe to call from many threads."""
+        started = time.monotonic()
+        warm = self._warm(problem)
+        engine_name = engine or self.default_engine
+        if engine_name not in ENGINES:
+            raise ValueError(f"unknown engine {engine_name!r}")
+        budget = timeout_s if timeout_s is not None else self.default_timeout_s
+
+        form = canonicalize(source, warm.spec)
+        key = cache_key(
+            warm.name,
+            warm.model_digest,
+            form.digest,
+            engine=engine_label(engine_name, self.explorer),
+            timeout_s=budget,
+        )
+        with self._lock:
+            if self._closed:
+                raise ServiceClosed("service is shutting down")
+            self._counters["requests"] += 1
+            self._served[warm.name] = self._served.get(warm.name, 0) + 1
+            # From the closed-check on, this request is visible to
+            # close(drain=True): the same locked section that admits it
+            # marks it pending, so no request can slip into the gap
+            # between the check and the queue/in-flight registration.
+            self._pending += 1
+        try:
+            return self._graded_outcome(
+                warm, source, engine_name, budget, key, started
+            )
+        finally:
+            with self._idle:
+                self._pending -= 1
+                self._idle.notify_all()
+
+    def _graded_outcome(
+        self, warm, source, engine_name, budget, key, started
+    ) -> GradeOutcome:
+        record = self.cache.get(key)
+        if record is not None:
+            self._count_status(record, "cache_hits")
+            return GradeOutcome(
+                record=record,
+                key=key,
+                cached=True,
+                wall_time=time.monotonic() - started,
+            )
+
+        future: Future = Future()
+        with self._lock:
+            leader_future = self._inflight.setdefault(key, future)
+        if leader_future is not future:
+            # Follower: an identical submission is being graded right
+            # now — await its record instead of solving it again.
+            record = leader_future.result()
+            self._count_status(record, "dedup_hits")
+            return GradeOutcome(
+                record=record,
+                key=key,
+                deduped=True,
+                wall_time=time.monotonic() - started,
+            )
+
+        try:
+            record = self._admit_and_grade(warm, source, engine_name, budget)
+            # Cache before dropping the in-flight entry: an identical
+            # submission arriving in between must find one or the other,
+            # never a gap that re-grades.
+            if record["status"] != ERROR:
+                self.cache.put(key, record)
+            future.set_result(record)
+        except BaseException as exc:
+            # Followers of this key must fail the same way the leader did
+            # (a QueueFull leader means its clones were over capacity too).
+            future.set_exception(exc)
+            raise
+        finally:
+            with self._idle:
+                del self._inflight[key]
+                self._idle.notify_all()
+
+        if record["status"] != ERROR:
+            self._maybe_persist()
+        self._count_status(record, "graded")
+        return GradeOutcome(
+            record=record, key=key, wall_time=time.monotonic() - started
+        )
+
+    def stats(self) -> dict:
+        """The ``GET /stats`` payload."""
+        with self._lock:
+            counters = dict(self._counters)
+            by_status = dict(self._by_status)
+            served = dict(self._served)
+            queued = self._queued
+            active = self._active
+        payload = {
+            "uptime_s": round(time.monotonic() - self._started, 3),
+            "jobs": self.jobs,
+            "queue_limit": self.queue_limit,
+            "active": active,
+            "queued": queued,
+            "backend": self.backend,
+            "explorer": self.explorer,
+            "by_status": by_status,
+            "avg_grade_s": round(self._avg_grade_s, 4),
+            "cache": self.cache.stats,
+            "problems": {
+                name: served.get(name, 0) for name in self.warmup.problems
+            },
+        }
+        payload.update(counters)
+        return payload
+
+    def problems_info(self) -> list:
+        return [warm.info() for warm in self.warmup.problems.values()]
+
+    def healthz(self) -> dict:
+        with self._lock:
+            closed = self._closed
+        return {
+            "status": "draining" if closed else "ok",
+            "problems": len(self.warmup),
+            "uptime_s": round(time.monotonic() - self._started, 3),
+        }
+
+    def close(self, drain: bool = True, persist: bool = True) -> None:
+        """Stop taking work; optionally wait for in-flight gradings.
+
+        Draining waits until the admission queue and every active grading
+        settle, so records promised to connected clients are delivered
+        and persisted before the process exits.
+        """
+        with self._idle:
+            self._closed = True
+            if drain:
+                self._idle.wait_for(lambda: self._pending == 0)
+        if persist and self.cache.path is not None:
+            self.cache.save()
+
+    # -- internals ----------------------------------------------------------
+
+    def _warm(self, problem: str):
+        try:
+            return self.warmup[problem]
+        except KeyError:
+            raise UnknownProblem(problem) from None
+
+    def _admit_and_grade(
+        self, warm, source: str, engine_name: str, budget: float
+    ) -> dict:
+        with self._lock:
+            # Everything admitted but not finished: the ``jobs`` slots
+            # plus at most ``queue_limit`` waiters. Beyond that the queue
+            # can only add latency, never throughput — reject now, with a
+            # hint sized to how long the backlog needs to clear at the
+            # observed grading rate.
+            backlog = self._active + self._queued
+            if backlog >= self.jobs + self.queue_limit:
+                self._counters["rejected"] += 1
+                raise QueueFull(
+                    max(1.0, backlog * self._avg_grade_s / self.jobs)
+                )
+            self._queued += 1
+        self._slots.acquire()
+        with self._lock:
+            self._queued -= 1
+            self._active += 1
+        grade_started = time.monotonic()
+        try:
+            try:
+                # Configuration is pinned per call (engine.explorer +
+                # explicit backend=), never via the process-wide defaults:
+                # ``using_backend``/``using_explorer`` save-and-restore a
+                # global and are not safe from concurrent request threads.
+                engine = engine_by_name(engine_name)
+                engine.explorer = self.explorer
+                report = generate_feedback(
+                    source,
+                    warm.spec,
+                    warm.model,
+                    engine=engine,
+                    timeout_s=budget,
+                    verifier=warm.verifier,
+                    backend=self.backend,
+                )
+                record = report_to_record(report)
+            except Exception as exc:
+                record = error_record(warm.name, exc)
+            return record
+        finally:
+            elapsed = time.monotonic() - grade_started
+            self._slots.release()
+            with self._idle:
+                self._active -= 1
+                self._avg_grade_s = 0.8 * self._avg_grade_s + 0.2 * elapsed
+                self._idle.notify_all()
+
+    def _count_status(self, record: dict, counter: str) -> None:
+        with self._lock:
+            self._counters[counter] += 1
+            status = record.get("status", "?")
+            self._by_status[status] = self._by_status.get(status, 0) + 1
+            if status == ERROR:
+                self._counters["errors"] += 1
+
+    def _maybe_persist(self) -> None:
+        if self.cache.path is None:
+            return
+        with self._lock:
+            self._since_persist += 1
+            if self._since_persist < self.persist_every:
+                return
+            self._since_persist = 0
+        self.cache.save()

@@ -1,0 +1,182 @@
+"""Warm per-problem artifacts: everything a request must never rebuild.
+
+A cold :func:`~repro.core.api.generate_feedback` call pays for parsing the
+reference, parsing + digesting the error model, compiling the reference to
+closures, and enumerating the reference's outcome on every input of the
+bounded space — none of which depends on the submission. A
+:class:`WarmProblem` does all of that once at server startup, so a request
+costs only what is genuinely per-submission (rewrite + solve).
+
+Priming goes one step further: it pushes the problem's own reference
+implementation through the *full* pipeline (rewriter, error-model
+transform, engine, exploration tables on the default initial inputs).
+That exercises every lazily-initialized cache on the grading path while
+the process is still single-threaded — after priming, request threads
+only ever read that state — and doubles as a startup self-test: a problem
+whose reference does not come back ``already_correct`` is misconfigured
+and refuses to serve.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.compile import COMPILED, compile_program, resolve_backend
+from repro.core.api import ALREADY_CORRECT, generate_feedback
+from repro.eml.rules import ErrorModel
+from repro.engines import engine_by_name
+from repro.engines.verify import BoundedVerifier
+from repro.problems import Problem, all_problems, get_problem
+from repro.service.canonical import model_digest
+
+
+class WarmupError(RuntimeError):
+    """A problem failed its startup self-test and cannot be served."""
+
+
+@dataclass
+class WarmProblem:
+    """One registry problem, preloaded for request-time grading."""
+
+    problem: Problem
+    model: ErrorModel
+    model_digest: str
+    #: Reference-outcome table, fully materialized (``verifier.inputs``
+    #: forced); request threads share it read-only.
+    verifier: BoundedVerifier
+    #: The reference lowered to closures once, proof the compiled backend
+    #: is warm (the verifier's own reference executor is internal to it).
+    #: ``None`` when the server runs the interp backend — compiling an
+    #: artifact no request would use is pure startup waste.
+    reference_program: Optional[object]
+    backend: str
+    warm_time_s: float = 0.0
+    #: Wall time of the priming grade (0.0 when priming was skipped).
+    prime_time_s: float = 0.0
+    primed: bool = False
+
+    @property
+    def name(self) -> str:
+        return self.problem.name
+
+    @property
+    def spec(self):
+        return self.problem.spec
+
+    def info(self) -> dict:
+        """The ``GET /problems`` row for this problem."""
+        return {
+            "name": self.name,
+            "language": self.problem.language,
+            "rules": len(self.model),
+            "model_digest": self.model_digest,
+            "inputs": len(self.verifier.inputs),
+            "backend": self.backend,
+            "warm_time_s": round(self.warm_time_s, 4),
+            "prime_time_s": round(self.prime_time_s, 4),
+            "primed": self.primed,
+        }
+
+
+def warm_problem(
+    problem: Problem,
+    backend: Optional[str] = None,
+    prime: bool = True,
+    prime_timeout_s: float = 30.0,
+) -> WarmProblem:
+    """Build the warm artifact for one problem."""
+    started = time.perf_counter()
+    spec = problem.spec
+    model = problem.model  # parses + checks the .eml file (lru-cached)
+    digest = model_digest(model)
+    resolved = resolve_backend(backend)
+    verifier = BoundedVerifier(spec, backend=backend)
+    verifier.inputs  # materialize the reference-outcome table
+    verifier.candidate_fuel  # and the calibrated candidate budget
+    reference_program = (
+        compile_program(spec.reference_module(), fuel=spec.fuel)
+        if resolved == COMPILED
+        else None
+    )
+    warm = WarmProblem(
+        problem=problem,
+        model=model,
+        model_digest=digest,
+        verifier=verifier,
+        reference_program=reference_program,
+        backend=resolved,
+        warm_time_s=time.perf_counter() - started,
+    )
+    if prime:
+        prime_started = time.perf_counter()
+        report = generate_feedback(
+            spec.reference_source,
+            spec,
+            model,
+            engine=engine_by_name("cegismin"),
+            timeout_s=prime_timeout_s,
+            verifier=verifier,
+            backend=backend,
+        )
+        if report.status != ALREADY_CORRECT:
+            raise WarmupError(
+                f"priming {problem.name!r} classified its own reference "
+                f"as {report.status!r}; refusing to serve it"
+            )
+        warm.prime_time_s = time.perf_counter() - prime_started
+        warm.primed = True
+        warm.warm_time_s = time.perf_counter() - started
+    return warm
+
+
+@dataclass
+class Warmup:
+    """The result of warming a problem set."""
+
+    problems: Dict[str, WarmProblem] = field(default_factory=dict)
+    total_time_s: float = 0.0
+
+    def __getitem__(self, name: str) -> WarmProblem:
+        return self.problems[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self.problems
+
+    def __len__(self) -> int:
+        return len(self.problems)
+
+
+def warm_registry(
+    names: Optional[Sequence[str]] = None,
+    backend: Optional[str] = None,
+    prime: bool = True,
+    prime_timeout_s: float = 30.0,
+    progress: Optional[Callable[[WarmProblem], None]] = None,
+) -> Warmup:
+    """Warm every named registry problem (default: all of them).
+
+    ``progress`` fires after each problem (the CLI prints the warmup
+    table from it). Raises :class:`WarmupError` on a failed self-test —
+    a server must not come up half-broken.
+    """
+    selected: List[Problem] = (
+        [get_problem(name) for name in names]
+        if names
+        else list(all_problems())
+    )
+    started = time.perf_counter()
+    warmup = Warmup()
+    for problem in selected:
+        warm = warm_problem(
+            problem,
+            backend=backend,
+            prime=prime,
+            prime_timeout_s=prime_timeout_s,
+        )
+        warmup.problems[problem.name] = warm
+        if progress is not None:
+            progress(warm)
+    warmup.total_time_s = time.perf_counter() - started
+    return warmup

@@ -17,11 +17,27 @@ of trivially-reformatted resubmissions. This package turns
   pool with deterministic ordering and progress callbacks.
 """
 
-from repro.service.cache import ResultCache, cache_key
+from repro.service.cache import (
+    DEFAULT_ENGINE,
+    ResultCache,
+    cache_key,
+    engine_label,
+    normalize_key,
+)
 from repro.service.canonical import CanonicalForm, canonicalize, model_digest
 from repro.service.jobstore import JobStore
-from repro.service.records import record_to_report, report_to_record
-from repro.service.runner import BatchItem, BatchResult, BatchRunner, BatchStats
+from repro.service.records import (
+    comparable_record,
+    record_to_report,
+    report_to_record,
+)
+from repro.service.runner import (
+    BatchItem,
+    BatchResult,
+    BatchRunner,
+    BatchStats,
+    error_record,
+)
 
 __all__ = [
     "BatchItem",
@@ -29,11 +45,16 @@ __all__ = [
     "BatchRunner",
     "BatchStats",
     "CanonicalForm",
+    "DEFAULT_ENGINE",
     "JobStore",
     "ResultCache",
     "cache_key",
     "canonicalize",
+    "comparable_record",
+    "engine_label",
+    "error_record",
     "model_digest",
+    "normalize_key",
     "record_to_report",
     "report_to_record",
 ]

@@ -1,11 +1,19 @@
 """Content-addressed result cache.
 
-Keys are ``problem:model-digest:canonical-hash``: a cached report is valid
-exactly when the same problem, the same error model, and a behaviorally
-identical submission come back — which in classroom traffic is constantly
-(resubmissions, copied solutions, the one conceptual error half the class
-shares). The cache is in-memory with optional JSON persistence, so a
-long-running service and a one-shot CLI batch share the same format.
+Keys are ``problem:model-digest:engine[:budget]:canonical-hash``: a cached
+report is valid exactly when the same problem, the same error model, the
+same solver configuration, and a behaviorally identical submission come
+back — which in classroom traffic is constantly (resubmissions, copied
+solutions, the one conceptual error half the class shares). The cache is
+in-memory with optional JSON persistence, so a long-running service, a
+one-shot CLI batch, and the feedback server all share the same format.
+
+Concurrency: every entry-touching method takes an internal lock, so one
+cache instance can back many server threads; :meth:`ResultCache.save`
+merges the on-disk entries into its payload under an exclusive lock file
+before the atomic replace, so several *processes* sharing one cache file
+enrich it instead of overwriting each other (last-writer-wins dropped
+entries silently before).
 """
 
 from __future__ import annotations
@@ -13,12 +21,70 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import threading
+import time
 from pathlib import Path
 from typing import Dict, Optional, Union
 
 from repro.service.records import is_record
 
 _FORMAT_VERSION = 1
+
+#: The engine a key with no explicit engine component means. ``engine=""``
+#: and ``engine=DEFAULT_ENGINE`` describe the same work and must address
+#: the same entry (distinct keys here caused spurious misses on identical
+#: configurations).
+DEFAULT_ENGINE = "cegismin"
+
+_HEX = set("0123456789abcdef")
+
+
+def engine_label(engine: str, explorer: bool) -> str:
+    """The engine component of a cache key.
+
+    Explorer on/off yields equally minimal but possibly different fixes,
+    so the ablation must not be served results from the default
+    configuration (or vice versa): the off state is suffixed ``+sweep``.
+    """
+    return engine if explorer else f"{engine}+sweep"
+
+
+def _is_hexdigest(part: str, length: int) -> bool:
+    return len(part) == length and all(c in _HEX for c in part)
+
+
+def _is_budget_part(part: str) -> bool:
+    """Whether a key component is a ``t<seconds>`` solver-budget marker."""
+    if not part.startswith("t") or len(part) < 2:
+        return False
+    try:
+        float(part[1:])
+    except ValueError:
+        return False
+    return True
+
+
+def normalize_key(key: str) -> str:
+    """Map equivalent key spellings to one canonical form.
+
+    Keys written before the engine component became mandatory spell the
+    default configuration ``problem:digest[:tNN]:canonical`` — the same
+    work :func:`cache_key` now addresses as
+    ``problem:digest:cegismin[:tNN]:canonical``. Loading normalizes, so
+    old cache files keep hitting. Strings that do not look like cache
+    keys pass through untouched.
+    """
+    parts = key.split(":")
+    if (
+        len(parts) < 3
+        or not _is_hexdigest(parts[1], 16)
+        or not _is_hexdigest(parts[-1], 64)
+    ):
+        return key
+    middle = parts[2:-1]
+    if not any(not _is_budget_part(part) for part in middle):
+        middle.insert(0, DEFAULT_ENGINE)
+    return ":".join([parts[0], parts[1], *middle, parts[-1]])
 
 
 def cache_key(
@@ -30,17 +96,113 @@ def cache_key(
 ) -> str:
     """The content address of one grading result.
 
-    ``engine`` and ``timeout_s`` are part of the address when given: a
-    ``timeout`` record produced under a 5 s budget is *not* a valid
-    answer for a 300 s run, and different engines may produce different
-    (equally minimal) fixes.
+    ``timeout_s`` is part of the address when given: a ``timeout`` record
+    produced under a 5 s budget is *not* a valid answer for a 300 s run.
+    Different engines may produce different (equally minimal) fixes, so
+    the engine is always part of the address; an empty ``engine`` means
+    :data:`DEFAULT_ENGINE`, *not* a distinct configuration.
     """
-    extra = ""
-    if engine:
-        extra += f":{engine}"
+    extra = f":{engine or DEFAULT_ENGINE}"
     if timeout_s is not None:
         extra += f":t{timeout_s:g}"
     return f"{problem}:{model_digest}{extra}:{canonical}"
+
+
+try:
+    import fcntl
+except ImportError:  # pragma: no cover - non-POSIX platforms
+    fcntl = None
+
+
+class _FileLock:
+    """An exclusive inter-process lock around one cache file.
+
+    On POSIX this is ``flock`` on a sidecar ``.lock`` file: the kernel
+    releases the lock when the holder dies, so a crashed batch can never
+    deadlock later ones, and the file is deliberately *never unlinked*
+    (removing a flocked path while a waiter holds a descriptor to the
+    old inode lets two holders in — the classic unlink race).
+
+    Without ``fcntl`` the fallback is an ``O_CREAT | O_EXCL`` spin; an
+    abandoned lock file (holder crashed between create and unlink) older
+    than ``stale_s`` is broken by atomically *renaming* it aside —
+    exactly one waiter wins the rename, so a freshly-created lock can
+    never be deleted out from under its holder.
+    """
+
+    def __init__(
+        self, target: Path, timeout_s: float = 10.0, stale_s: float = 30.0
+    ):
+        self.path = target.with_name(target.name + ".lock")
+        self.timeout_s = timeout_s
+        self.stale_s = stale_s
+        self._fd: Optional[int] = None
+
+    def __enter__(self) -> "_FileLock":
+        deadline = time.monotonic() + self.timeout_s
+        if fcntl is not None:
+            self._fd = os.open(str(self.path), os.O_CREAT | os.O_RDWR)
+            while True:
+                try:
+                    fcntl.flock(self._fd, fcntl.LOCK_EX | fcntl.LOCK_NB)
+                    return self
+                except OSError:
+                    if time.monotonic() > deadline:
+                        os.close(self._fd)
+                        self._fd = None
+                        raise TimeoutError(
+                            f"could not acquire cache lock {self.path}"
+                        ) from None
+                    time.sleep(0.01)
+        while True:
+            try:
+                fd = os.open(
+                    str(self.path), os.O_CREAT | os.O_EXCL | os.O_WRONLY
+                )
+            except FileExistsError:
+                self._break_if_stale()
+                if time.monotonic() > deadline:
+                    raise TimeoutError(
+                        f"could not acquire cache lock {self.path}"
+                    ) from None
+                time.sleep(0.01)
+                continue
+            with os.fdopen(fd, "w") as handle:
+                handle.write(str(os.getpid()))
+            return self
+
+    def __exit__(self, *exc_info) -> None:
+        if self._fd is not None:
+            # Releasing the flock is enough; the lock file stays (see
+            # the class docstring for why unlinking would be a bug).
+            try:
+                os.close(self._fd)
+            finally:
+                self._fd = None
+            return
+        try:
+            os.unlink(self.path)
+        except OSError:
+            pass
+
+    def _break_if_stale(self) -> None:
+        try:
+            age = time.time() - self.path.stat().st_mtime
+        except OSError:
+            return  # holder released between our open and stat
+        if age <= self.stale_s:
+            return
+        aside = self.path.with_name(
+            self.path.name + f".stale{os.getpid()}"
+        )
+        try:
+            os.rename(self.path, aside)  # atomic: one breaker wins
+        except OSError:
+            return  # someone else broke or released it first
+        try:
+            os.unlink(aside)
+        except OSError:
+            pass
 
 
 class ResultCache:
@@ -48,6 +210,7 @@ class ResultCache:
 
     def __init__(self, path: Optional[Union[str, Path]] = None):
         self._entries: Dict[str, dict] = {}
+        self._lock = threading.RLock()
         self.path = Path(path) if path is not None else None
         self.hits = 0
         self.misses = 0
@@ -55,76 +218,103 @@ class ResultCache:
             self.load(self.path)
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def __contains__(self, key: str) -> bool:
-        return key in self._entries
+        with self._lock:
+            return key in self._entries
 
     def get(self, key: str) -> Optional[dict]:
         """The cached record for ``key``, counting the hit or miss."""
-        record = self._entries.get(key)
-        if record is None:
-            self.misses += 1
-            return None
-        self.hits += 1
-        return record
+        with self._lock:
+            record = self._entries.get(key)
+            if record is None:
+                self.misses += 1
+                return None
+            self.hits += 1
+            return record
 
     def peek(self, key: str) -> Optional[dict]:
         """Like :meth:`get` but without touching the statistics."""
-        return self._entries.get(key)
+        with self._lock:
+            return self._entries.get(key)
 
     def put(self, key: str, record: dict) -> None:
-        self._entries[key] = record
+        with self._lock:
+            self._entries[key] = record
 
     # -- persistence --------------------------------------------------------
 
-    def load(self, path: Union[str, Path]) -> int:
-        """Merge entries from a JSON cache file; returns how many loaded.
+    def _read_entries(self, path: Path) -> Dict[str, dict]:
+        """Well-formed entries from a cache file, keys normalized.
 
         Unreadable files and malformed entries are skipped (a cache must
         never be the reason a batch fails).
         """
         try:
-            payload = json.loads(Path(path).read_text())
+            payload = json.loads(path.read_text())
         except (OSError, json.JSONDecodeError):
-            return 0
+            return {}
         if not isinstance(payload, dict) or payload.get("version") != _FORMAT_VERSION:
-            return 0
+            return {}
         entries = payload.get("entries", {})
-        loaded = 0
+        valid: Dict[str, dict] = {}
         if isinstance(entries, dict):
             for key, record in entries.items():
                 if isinstance(key, str) and is_record(record):
-                    self._entries[key] = record
-                    loaded += 1
-        return loaded
+                    valid[normalize_key(key)] = record
+        return valid
+
+    def load(self, path: Union[str, Path]) -> int:
+        """Merge entries from a JSON cache file; returns how many loaded."""
+        loaded = self._read_entries(Path(path))
+        with self._lock:
+            self._entries.update(loaded)
+        return len(loaded)
 
     def save(self, path: Optional[Union[str, Path]] = None) -> Path:
-        """Atomically write the cache to ``path`` (or the ctor path)."""
+        """Atomically write the cache to ``path`` (or the ctor path).
+
+        The write merges under an exclusive lock file: on-disk entries
+        another process added since our load are carried into the payload
+        (in-memory entries win on key conflicts — they are newer), then
+        absorbed into memory, so concurrent writers converge on the union
+        instead of dropping each other's work.
+        """
         target = Path(path) if path is not None else self.path
         if target is None:
             raise ValueError("no cache path given")
-        payload = {"version": _FORMAT_VERSION, "entries": self._entries}
         target.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp_name = tempfile.mkstemp(
-            dir=str(target.parent), prefix=target.name, suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "w") as handle:
-                json.dump(payload, handle)
-            os.replace(tmp_name, target)
-        except BaseException:
+        with self._lock:
+            snapshot = dict(self._entries)
+        with _FileLock(target):
+            merged = self._read_entries(target) if target.exists() else {}
+            merged.update(snapshot)
+            payload = {"version": _FORMAT_VERSION, "entries": merged}
+            fd, tmp_name = tempfile.mkstemp(
+                dir=str(target.parent), prefix=target.name, suffix=".tmp"
+            )
             try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
+                with os.fdopen(fd, "w") as handle:
+                    json.dump(payload, handle)
+                os.replace(tmp_name, target)
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+        with self._lock:
+            for key, record in merged.items():
+                self._entries.setdefault(key, record)
         return target
 
     @property
     def stats(self) -> dict:
-        return {
-            "entries": len(self._entries),
-            "hits": self.hits,
-            "misses": self.misses,
-        }
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "hits": self.hits,
+                "misses": self.misses,
+            }

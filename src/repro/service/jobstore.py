@@ -5,14 +5,20 @@ Each line is one graded submission::
     {"id": "hw3/alice.py", "key": "<cache key>", "report": {...record...}}
 
 Append-only JSONL means an interrupted batch (Ctrl-C, OOM-killed worker,
-machine reboot) loses at most the in-flight submissions: rerunning with
-``resume`` loads the completed ids and grades only the remainder. Corrupt
-trailing lines — the signature of a crash mid-write — are ignored on load.
+machine reboot) loses at most the in-flight submissions: every append is
+flushed *and* fsynced before returning, so a completed line survives both
+the process dying and the machine dying. Rerunning with ``resume`` loads
+the completed ids and grades only the remainder. Corrupt trailing lines —
+the signature of a crash mid-write — are ignored on load, as are entries
+whose stored cache key no longer matches the resuming run's configuration
+(problem, model digest, engine, budget): a store written under an edited
+error model must be re-graded, not served as stale reports.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Dict, Optional, Union
 
@@ -28,11 +34,14 @@ class JobStore:
     def exists(self) -> bool:
         return self.path.exists()
 
-    def load(self) -> Dict[str, dict]:
+    def load(self, key_prefix: Optional[str] = None) -> Dict[str, dict]:
         """Completed entries keyed by submission id.
 
         Later lines win (a re-graded submission supersedes its earlier
-        record); malformed lines are skipped.
+        record); malformed lines are skipped. With ``key_prefix``,
+        entries whose stored cache key does not start with it are dropped
+        — they were graded under a different problem, error model, engine
+        or solver budget and are stale for the resuming run.
         """
         completed: Dict[str, dict] = {}
         if not self.path.exists():
@@ -46,20 +55,26 @@ class JobStore:
                     entry = json.loads(line)
                 except json.JSONDecodeError:
                     continue
-                if (
+                if not (
                     isinstance(entry, dict)
                     and isinstance(entry.get("id"), str)
                     and is_record(entry.get("report"))
                 ):
-                    completed[entry["id"]] = entry
+                    continue
+                if key_prefix is not None and not str(
+                    entry.get("key") or ""
+                ).startswith(key_prefix):
+                    continue
+                completed[entry["id"]] = entry
         return completed
 
     def append(
         self, submission_id: str, record: dict, key: Optional[str] = None
     ) -> None:
-        """Persist one result, flushed so a crash cannot lose it."""
+        """Persist one result, flushed and fsynced so a crash cannot lose it."""
         entry = {"id": submission_id, "key": key, "report": record}
         self.path.parent.mkdir(parents=True, exist_ok=True)
         with self.path.open("a") as handle:
             handle.write(json.dumps(entry) + "\n")
             handle.flush()
+            os.fsync(handle.fileno())

@@ -76,6 +76,18 @@ def record_to_report(record: dict) -> FeedbackReport:
     )
 
 
+def comparable_record(record: dict) -> dict:
+    """A record with its nondeterministic fields dropped.
+
+    ``wall_time`` varies run to run; everything else a record carries is
+    deterministic for a given (problem, model, engine, budget, backend)
+    configuration. The differential suites compare server responses,
+    batch output and direct :func:`~repro.core.api.generate_feedback`
+    calls byte-for-byte on this view.
+    """
+    return {key: value for key, value in record.items() if key != "wall_time"}
+
+
 def is_record(value: Optional[dict]) -> bool:
     """Cheap shape check used when reading untrusted stores."""
     return (

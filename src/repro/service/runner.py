@@ -33,6 +33,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Union
 
 from repro.compile import default_backend, set_default_backend, using_backend
+from repro.core.api import TIMEOUT as TIMEOUT_STATUS
 from repro.core.api import FeedbackReport, generate_feedback
 from repro.explore import (
     resolve_explorer,
@@ -46,12 +47,36 @@ from repro.core.spec import ProblemSpec
 from repro.eml.rules import ErrorModel
 from repro.engines.base import Engine
 from repro.problems.registry import Problem
-from repro.service.cache import ResultCache, cache_key
+from repro.service.cache import ResultCache, cache_key, engine_label
 from repro.service.canonical import canonicalize, model_digest
 from repro.service.jobstore import JobStore
-from repro.service.records import record_to_report, report_to_record
+from repro.service.records import (
+    RECORD_VERSION,
+    record_to_report,
+    report_to_record,
+)
 
 DEFAULT_TIMEOUT_S = 45.0
+
+#: Status of a submission whose grading *raised* (a pipeline bug, not a
+#: property of the submission). Error records are settled and counted but
+#: never cached or persisted — a retry must re-grade, not replay the crash.
+ERROR = "error"
+
+
+def error_record(problem: str, exc: BaseException) -> dict:
+    """The record for a grading that raised instead of classifying."""
+    return {
+        "v": RECORD_VERSION,
+        "status": ERROR,
+        "problem": problem,
+        "cost": None,
+        "minimal": False,
+        "fixed_source": None,
+        "wall_time": 0.0,
+        "detail": f"{type(exc).__name__}: {exc}",
+        "items": [],
+    }
 
 #: Callback signature: (settled so far, total, the result that settled).
 ProgressFn = Callable[[int, int, "BatchResult"], None]
@@ -94,15 +119,20 @@ class BatchStats:
     def count(self, status: str) -> None:
         self.by_status[status] = self.by_status.get(status, 0) + 1
 
+    @property
+    def failures(self) -> int:
+        """Submissions the batch did not actually settle: solver timeouts
+        and gradings that raised. ``no_fix``/``syntax_error`` are honest
+        verdicts about the submission, not failures of the batch."""
+        return self.by_status.get(TIMEOUT_STATUS, 0) + self.by_status.get(
+            ERROR, 0
+        )
+
 
 def _make_engine(name: str) -> Engine:
-    from repro.engines import CegisMinEngine, EnumerativeEngine
+    from repro.engines import engine_by_name
 
-    if name == "cegismin":
-        return CegisMinEngine()
-    if name == "enumerative":
-        return EnumerativeEngine()
-    raise ValueError(f"unknown engine {name!r}")
+    return engine_by_name(name)
 
 
 # -- process-pool workers ----------------------------------------------------
@@ -141,14 +171,20 @@ def _worker_init(
 
 
 def _worker_grade(source: str) -> dict:
-    report = generate_feedback(
-        source,
-        _WORKER["spec"],
-        _WORKER["model"],
-        engine=_make_engine(_WORKER["engine_name"]),
-        timeout_s=_WORKER["timeout_s"],
-        verifier=_WORKER["verifier"],
-    )
+    # A raising grading must come back as an error record, not kill the
+    # pool run: one pathological submission used to abort the whole batch
+    # and lose every in-flight result (and the batch still exited 0).
+    try:
+        report = generate_feedback(
+            source,
+            _WORKER["spec"],
+            _WORKER["model"],
+            engine=_make_engine(_WORKER["engine_name"]),
+            timeout_s=_WORKER["timeout_s"],
+            verifier=_WORKER["verifier"],
+        )
+    except Exception as exc:
+        return error_record(_WORKER["spec"].name, exc)
     return report_to_record(report)
 
 
@@ -199,16 +235,11 @@ class BatchRunner:
         self.explorer = resolve_explorer(explorer)
         self.stats = BatchStats()
         self._model_digest = model_digest(self.model)
-        engine_label = (
+        engine_name = (
             self.engine
             if isinstance(self.engine, str)
             else type(self.engine).__name__
         )
-        # Explorer on/off yields equally minimal but possibly different
-        # fixes; the ablation must not be served results from the default
-        # configuration (or vice versa).
-        if not self.explorer:
-            engine_label += "+sweep"
         #: Everything identity-relevant except the submission itself; a
         #: stored result is only reusable under the same problem, model,
         #: engine and solver budget.
@@ -216,7 +247,7 @@ class BatchRunner:
             self.problem.name,
             self._model_digest,
             "",
-            engine=engine_label,
+            engine=engine_label(engine_name, self.explorer),
             timeout_s=self.timeout_s,
         )
 
@@ -250,9 +281,15 @@ class BatchRunner:
 
         # Stage 1: resume from the job store. A stored entry only counts
         # when its key proves it was graded under this same problem,
-        # model, engine and budget — resuming a job store written for a
-        # different configuration must re-grade, not serve wrong reports.
-        completed = self.store.load() if (self.store and self.resume) else {}
+        # model, engine and budget — the store drops stale entries at
+        # load time, so resuming a job store written for a different
+        # configuration (e.g. an edited error model) re-grades instead of
+        # serving outdated reports.
+        completed = (
+            self.store.load(key_prefix=self._key_prefix)
+            if (self.store and self.resume)
+            else {}
+        )
         pending: List[int] = []
         for index, item in enumerate(batch):
             entry = completed.get(item.sid)
@@ -301,7 +338,8 @@ class BatchRunner:
         # Stage 4: grade one representative per distinct submission.
         for index, record in self._grade(batch, to_grade):
             key = keys[index]
-            self.cache.put(key, record)
+            if record["status"] != ERROR:
+                self.cache.put(key, record)
             clones = by_key[key]
             self.stats.graded += 1
             self.stats.dedup_hits += len(clones) - 1
@@ -327,7 +365,7 @@ class BatchRunner:
         cached: bool,
     ) -> None:
         item = batch[index]
-        if self.store is not None:
+        if self.store is not None and record["status"] != ERROR:
             self.store.append(item.sid, record, key=key)
         settle(
             index,
@@ -356,16 +394,20 @@ class BatchRunner:
         with using_backend(self.backend), using_explorer(self.explorer):
             verifier = self.verifier or _verifier_cache(spec)
             for index in indices:
-                report = generate_feedback(
-                    batch[index].source,
-                    spec,
-                    self.model,
-                    engine=engine
-                    if isinstance(engine, Engine)
-                    else _make_engine(engine),
-                    timeout_s=self.timeout_s,
-                    verifier=verifier,
-                )
+                try:
+                    report = generate_feedback(
+                        batch[index].source,
+                        spec,
+                        self.model,
+                        engine=engine
+                        if isinstance(engine, Engine)
+                        else _make_engine(engine),
+                        timeout_s=self.timeout_s,
+                        verifier=verifier,
+                    )
+                except Exception as exc:
+                    yield index, error_record(spec.name, exc)
+                    continue
                 yield index, report_to_record(report)
 
     def _grade_parallel(self, batch, indices):

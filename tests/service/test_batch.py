@@ -257,3 +257,118 @@ class TestCliBatch:
         empty.mkdir()
         with pytest.raises(SystemExit):
             main(["batch", str(empty), "--problem", PROBLEM.name])
+
+
+class TestStaleResume:
+    def test_load_key_prefix_drops_stale_entries(self, tmp_path):
+        store = JobStore(tmp_path / "results.jsonl")
+        store.append("alice.py", _RECORD, key="p:aa:cegismin:t20:" + "1" * 64)
+        store.append("bob.py", _RECORD, key="p:bb:cegismin:t20:" + "2" * 64)
+        store.append("carol.py", _RECORD, key=None)
+        assert len(store.load()) == 3
+        kept = store.load(key_prefix="p:aa:cegismin:t20:")
+        assert set(kept) == {"alice.py"}
+
+    def test_resume_after_model_change_regrades(self, tmp_path):
+        # The stale-resume bug: a job store written under one model
+        # digest must not satisfy a resume under another. The store-level
+        # filter (not just the runner's own check) drops the entries.
+        store = JobStore(tmp_path / "results.jsonl")
+        BatchRunner(PROBLEM, jobs=1, timeout_s=20, store=store).run([ITEMS[0]])
+        entry = next(iter(store.load().values()))
+        stale_prefix = entry["key"].rsplit(":", 1)[0].replace(
+            entry["key"].split(":")[1], "f" * 16
+        )
+        assert store.load(key_prefix=stale_prefix + ":") == {}
+
+
+class TestErrorRecords:
+    def test_serial_grading_exception_becomes_error_record(self, monkeypatch):
+        from repro.service import runner as runner_mod
+
+        def boom(*args, **kwargs):
+            raise RuntimeError("engine exploded")
+
+        monkeypatch.setattr(runner_mod, "generate_feedback", boom)
+        cache = ResultCache()
+        runner = BatchRunner(PROBLEM, jobs=1, timeout_s=20, cache=cache)
+        results = runner.run([ITEMS[0]])
+        assert results[0].report.status == "error"
+        assert "engine exploded" in results[0].report.detail
+        assert runner.stats.by_status == {"error": 1}
+        assert runner.stats.failures == 1
+        # Error records are transient: never cached, so a retry re-grades.
+        assert len(cache) == 0
+
+    def test_error_records_not_persisted_to_store(self, monkeypatch, tmp_path):
+        from repro.service import runner as runner_mod
+
+        monkeypatch.setattr(
+            runner_mod,
+            "generate_feedback",
+            lambda *a, **k: (_ for _ in ()).throw(RuntimeError("boom")),
+        )
+        store = JobStore(tmp_path / "results.jsonl")
+        BatchRunner(PROBLEM, jobs=1, timeout_s=20, store=store).run([ITEMS[0]])
+        assert store.load() == {}
+
+    def test_worker_grade_exception_becomes_error_record(self, monkeypatch):
+        from repro.service import runner as runner_mod
+
+        runner_mod._worker_init(
+            PROBLEM.spec, PROBLEM.model, "cegismin", 20.0, "compiled", True
+        )
+        monkeypatch.setattr(
+            runner_mod,
+            "generate_feedback",
+            lambda *a, **k: (_ for _ in ()).throw(ValueError("worker boom")),
+        )
+        record = runner_mod._worker_grade(BUGGY)
+        assert record["status"] == "error"
+        assert "worker boom" in record["detail"]
+
+
+class TestBatchExitCode:
+    @pytest.fixture
+    def inbox(self, tmp_path):
+        directory = tmp_path / "inbox"
+        directory.mkdir()
+        (directory / "a.py").write_text(BUGGY)
+        (directory / "b.py").write_text(BUGGY_RENAMED)
+        return directory
+
+    def test_timeouts_exit_nonzero_with_summary(self, inbox, capsys):
+        code = main(
+            [
+                "batch",
+                str(inbox),
+                "--problem",
+                PROBLEM.name,
+                "--timeout",
+                "0.000001",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "FAILED" in out
+        assert "timeout" in out
+
+    def test_clean_batch_exits_zero(self, inbox, capsys):
+        code = main(
+            ["batch", str(inbox), "--problem", PROBLEM.name, "--timeout", "20"]
+        )
+        capsys.readouterr()
+        assert code == 0
+
+
+_RECORD = {
+    "v": 1,
+    "status": "fixed",
+    "problem": "p",
+    "cost": 1,
+    "minimal": True,
+    "fixed_source": None,
+    "wall_time": 0.1,
+    "detail": "",
+    "items": [],
+}

@@ -90,3 +90,146 @@ class TestResultCache:
     def test_save_without_path_raises(self):
         with pytest.raises(ValueError):
             ResultCache().save()
+
+
+class TestKeyNormalization:
+    def test_empty_engine_is_the_default_engine(self):
+        # Equivalent configurations must share one address: the default
+        # engine spelled implicitly and explicitly used to produce
+        # distinct keys, turning identical work into cache misses.
+        assert cache_key("p", "m", "c") == cache_key("p", "m", "c", engine="cegismin")
+        assert cache_key("p", "m", "c", timeout_s=45.0) == cache_key(
+            "p", "m", "c", engine="cegismin", timeout_s=45.0
+        )
+
+    def test_distinct_engines_stay_distinct(self):
+        assert cache_key("p", "m", "c", engine="enumerative") != cache_key(
+            "p", "m", "c"
+        )
+        assert cache_key("p", "m", "c", engine="cegismin+sweep") != cache_key(
+            "p", "m", "c"
+        )
+
+    def test_old_format_keys_migrate_on_load(self, tmp_path):
+        from repro.service import model_digest
+        from repro.problems import get_problem
+
+        digest = model_digest(get_problem("iterPower-6.00x").model)
+        canonical = "ab" * 32
+        old_key = f"iterPower-6.00x:{digest}:{canonical}"
+        old_budget_key = f"iterPower-6.00x:{digest}:t45:{canonical}"
+        path = tmp_path / "cache.json"
+        path.write_text(
+            json.dumps(
+                {
+                    "version": 1,
+                    "entries": {old_key: _record(), old_budget_key: _record(cost=2)},
+                }
+            )
+        )
+        cache = ResultCache(path)
+        hit = cache.get(
+            cache_key("iterPower-6.00x", digest, canonical, engine="cegismin")
+        )
+        assert hit is not None and hit["cost"] == 1
+        budget_hit = cache.get(
+            cache_key("iterPower-6.00x", digest, canonical, timeout_s=45.0)
+        )
+        assert budget_hit is not None and budget_hit["cost"] == 2
+
+    def test_unrecognized_keys_pass_through(self):
+        from repro.service import normalize_key
+
+        assert normalize_key("not a cache key") == "not a cache key"
+        assert normalize_key("a:b") == "a:b"
+
+
+class TestConcurrentSave:
+    """Two writers sharing one cache file must merge, not clobber."""
+
+    def test_second_writer_keeps_first_writers_entries(self, tmp_path):
+        # The regression the old last-writer-wins save fails: both caches
+        # load the (empty) file, each learns a different entry, both
+        # save. The second save used to silently drop the first.
+        path = tmp_path / "cache.json"
+        first = ResultCache(path)
+        second = ResultCache(path)
+        first.put(cache_key("p", "m", "c1"), _record(cost=1))
+        second.put(cache_key("p", "m", "c2"), _record(cost=2))
+        first.save()
+        second.save()
+        merged = ResultCache(path)
+        assert merged.peek(cache_key("p", "m", "c1"))["cost"] == 1
+        assert merged.peek(cache_key("p", "m", "c2"))["cost"] == 2
+
+    def test_in_memory_entries_win_on_conflict(self, tmp_path):
+        path = tmp_path / "cache.json"
+        stale = ResultCache(path)
+        stale.put(cache_key("p", "m", "c"), _record(cost=1))
+        stale.save()
+        fresh = ResultCache(path)
+        fresh.put(cache_key("p", "m", "c"), _record(cost=9))
+        fresh.save()
+        assert ResultCache(path).peek(cache_key("p", "m", "c"))["cost"] == 9
+
+    def test_save_absorbs_other_writers_entries(self, tmp_path):
+        path = tmp_path / "cache.json"
+        mine = ResultCache(path)
+        other = ResultCache(path)
+        other.put(cache_key("p", "m", "other"), _record())
+        other.save()
+        mine.put(cache_key("p", "m", "mine"), _record())
+        mine.save()
+        # The merge flows both ways: my in-memory view now serves the
+        # other writer's entry too.
+        assert mine.peek(cache_key("p", "m", "other")) is not None
+
+    def test_two_process_stress_converges_to_the_union(self, tmp_path):
+        import multiprocessing
+
+        path = tmp_path / "cache.json"
+        workers = 4
+        entries_each = 8
+        ctx = multiprocessing.get_context("spawn")
+        barrier = ctx.Barrier(workers)
+        procs = [
+            ctx.Process(
+                target=_hammer_cache,
+                args=(str(path), worker, entries_each, barrier),
+            )
+            for worker in range(workers)
+        ]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(timeout=60)
+            assert proc.exitcode == 0
+        final = ResultCache(path)
+        for worker in range(workers):
+            for index in range(entries_each):
+                key = cache_key("p", "m", f"w{worker}e{index}")
+                assert final.peek(key) is not None, key
+
+    def test_stale_lock_is_broken(self, tmp_path):
+        import os
+        import time as time_mod
+
+        path = tmp_path / "cache.json"
+        lock = tmp_path / "cache.json.lock"
+        lock.write_text("dead-pid")
+        old = time_mod.time() - 120
+        os.utime(lock, (old, old))
+        cache = ResultCache(path)
+        cache.put(cache_key("p", "m", "c"), _record())
+        cache.save()  # must not deadlock on the abandoned lock
+        assert path.exists()
+
+
+def _hammer_cache(path, worker, entries_each, barrier):
+    """Child-process body for the two-process stress test (module level
+    so the spawn start method can pickle it)."""
+    cache = ResultCache(path)
+    barrier.wait()
+    for index in range(entries_each):
+        cache.put(cache_key("p", "m", f"w{worker}e{index}"), _record())
+        cache.save()
