@@ -15,11 +15,17 @@ bounded space is large enough that per-invocation warmup is a real cost) and the
   (the one conceptual error half the class shares dominates): measures
   sustained req/s and the cache-hit ratio the dedup layer converts that
   skew into.
+- **cache-miss multi-core scaling** — the same distinct-submission
+  stream pushed through ``--executor thread`` and ``--executor
+  process`` at ``N = min(4, cores)`` concurrency. The engine loop is
+  pure-Python CPU work, so the thread executor is GIL-bound to ~one
+  core regardless of ``--jobs``; the process executor's preforked
+  workers are where extra cores actually become throughput.
 
 A session finalizer writes ``BENCH_serve.json`` at the repo root and the
-final test enforces the CI contract: warm cache-miss p50 at least 2x
-better than cold p50 (locally the measured gap is far larger — see the
-JSON for the current numbers).
+final tests enforce the CI contracts: warm cache-miss p50 at least 2x
+better than cold p50, and (on ≥4-core runners) process-executor
+cache-miss throughput at least 2x the thread executor's.
 """
 
 import json
@@ -29,6 +35,7 @@ import random
 import statistics
 import subprocess
 import sys
+import threading
 import time
 
 import pytest
@@ -42,6 +49,11 @@ TIMEOUT_S = float(os.environ.get("REPRO_BENCH_TIMEOUT", "20"))
 COLD_INVOCATIONS = int(os.environ.get("REPRO_BENCH_COLD_N", "6"))
 WARM_SUBMISSIONS = int(os.environ.get("REPRO_BENCH_WARM_N", "12"))
 ZIPF_REQUESTS = int(os.environ.get("REPRO_BENCH_ZIPF_N", "80"))
+SCALE_WORKERS = int(
+    os.environ.get(
+        "REPRO_BENCH_SCALE_WORKERS", str(max(2, min(4, os.cpu_count() or 1)))
+    )
+)
 
 _RESULTS: dict = {}
 _BENCH_JSON = pathlib.Path(__file__).resolve().parent.parent / "BENCH_serve.json"
@@ -107,7 +119,9 @@ def _write_serve_json():
         "workload": (
             f"{PROBLEM_NAME}: {COLD_INVOCATIONS} cold CLI invocations vs "
             f"{WARM_SUBMISSIONS} warm cache-miss requests vs "
-            f"{ZIPF_REQUESTS} zipf(1.2)-resubmission requests"
+            f"{ZIPF_REQUESTS} zipf(1.2)-resubmission requests; "
+            f"cache-miss scaling at {SCALE_WORKERS}-way concurrency, "
+            f"thread vs process executor"
         ),
         "unix_time": time.time(),
         **_RESULTS,
@@ -193,6 +207,107 @@ def test_zipf_resubmission_throughput(served, submissions):
     # The warm-miss test already graded every submission, so this stream
     # is pure cache traffic: the hit ratio must be total.
     assert hits == ZIPF_REQUESTS
+
+
+def _cache_miss_throughput(executor: str, sources) -> dict:
+    """Distinct submissions through a fresh service under ``executor``.
+
+    A fresh service (and a fresh in-memory cache) per run: every request
+    is a genuine cache-miss solve. ``SCALE_WORKERS`` client threads with
+    one keep-alive connection each keep the admission gate saturated, so
+    the measured rate is the executor's, not the load generator's.
+    """
+    warmup = warm_registry(names=[PROBLEM_NAME])
+    service = FeedbackService(
+        warmup=warmup,
+        jobs=SCALE_WORKERS,
+        queue_limit=256,
+        default_timeout_s=TIMEOUT_S,
+        executor=executor,
+        workers=SCALE_WORKERS,
+    )
+    server = FeedbackHTTPServer(service, port=0)
+    server.serve_in_thread()
+    lanes = [list(sources[lane::SCALE_WORKERS]) for lane in range(SCALE_WORKERS)]
+    statuses: dict = {}
+    lock = threading.Lock()
+
+    def drive(lane):
+        client = FeedbackClient(port=server.port)
+        try:
+            for source in lane:
+                out = client.grade(PROBLEM_NAME, source, timeout_s=TIMEOUT_S)
+                assert not out["cached"] and not out["deduped"]
+                status = out["record"]["status"]
+                with lock:
+                    statuses[status] = statuses.get(status, 0) + 1
+        finally:
+            client.close()
+
+    threads = [
+        threading.Thread(target=drive, args=(lane,)) for lane in lanes
+    ]
+    start = time.perf_counter()
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    elapsed = time.perf_counter() - start
+    server.shutdown_gracefully()
+    return {
+        "executor": executor,
+        "requests": len(sources),
+        "seconds": elapsed,
+        "req_per_s": len(sources) / elapsed,
+        "by_status": statuses,
+    }
+
+
+def test_cache_miss_scaling_thread_vs_process(submissions):
+    """Same miss stream, both executors, N-way concurrency."""
+    sources, _ = submissions
+    thread_run = _cache_miss_throughput("thread", sources)
+    process_run = _cache_miss_throughput("process", sources)
+    _RESULTS["scaling"] = {
+        "workers": SCALE_WORKERS,
+        "cpu_count": os.cpu_count(),
+        "thread": thread_run,
+        "process": process_run,
+        "process_vs_thread_speedup": (
+            process_run["req_per_s"] / thread_run["req_per_s"]
+        ),
+    }
+    # Whatever the speedup, both executors must have settled every
+    # submission with a real verdict — a worker that errors its way to
+    # "throughput" would win every benchmark.
+    for run in (thread_run, process_run):
+        assert sum(run["by_status"].values()) == len(sources)
+        assert run["by_status"].get("error", 0) == 0, run
+    assert thread_run["by_status"] == process_run["by_status"]
+
+
+def test_process_scaling_contract():
+    """CI contract: on a ≥4-core runner, ``--executor process --workers
+    4`` grades cache misses at ≥2x the thread executor's rate.
+
+    The engine loop is pure-Python CPU work: the thread executor cannot
+    exceed ~1 core, so 4 preforked workers have a 4-core budget to clear
+    the 2x bar (measured locally: near-linear). Fewer cores can't
+    demonstrate parallelism, so the pin is recorded but not enforced.
+    """
+    scaling = _RESULTS["scaling"]
+    speedup = scaling["process_vs_thread_speedup"]
+    print(f"\nprocess-vs-thread cache-miss speedup: {speedup:.2f}x "
+          f"({scaling['workers']} workers, {scaling['cpu_count']} cores)")
+    if (os.cpu_count() or 1) < 4 or SCALE_WORKERS < 4:
+        pytest.skip(
+            f"scaling contract needs >=4 cores and >=4 workers "
+            f"(have {os.cpu_count()} cores, {SCALE_WORKERS} workers)"
+        )
+    assert speedup >= 2.0, (
+        f"process executor is only {speedup:.2f}x the thread executor "
+        f"on cache misses with {SCALE_WORKERS} workers"
+    )
 
 
 def test_warm_speedup_contract():

@@ -11,13 +11,15 @@ Subcommands:
   ``--resume`` to continue an interrupted run); exits non-zero when any
   submission timed out or errored;
 - ``serve`` — run the persistent feedback server (warm precompiled
-  problems, admission queue, shared result cache);
+  problems, admission queue, shared result cache, process-sharded
+  grading executors on multi-core machines);
 - ``table1`` — regenerate the Table 1 experiment on synthetic corpora.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
 import pathlib
 import sys
 from typing import Optional
@@ -166,13 +168,29 @@ def cmd_batch(args: argparse.Namespace) -> int:
 
 
 def cmd_serve(args: argparse.Namespace) -> int:
-    from repro.server import FeedbackHTTPServer, FeedbackService, warm_registry
+    from repro.server import (
+        FeedbackHTTPServer,
+        FeedbackService,
+        default_executor,
+        resolve_executor,
+        warm_registry,
+    )
     from repro.service import ResultCache
 
     if args.jobs < 1:
         raise SystemExit("--jobs must be >= 1")
     if args.queue < 0:
         raise SystemExit("--queue must be >= 0")
+    if args.workers is not None and args.workers < 1:
+        raise SystemExit("--workers must be >= 1")
+    # Flag > environment > core-count default (resolve_executor alone
+    # would fall back to "thread", the library default — the daemon's
+    # default is the multi-core-aware one).
+    executor = resolve_executor(
+        args.executor
+        or os.environ.get("REPRO_EXECUTOR")
+        or default_executor()
+    )
 
     def warmed(warm) -> None:
         print(
@@ -185,12 +203,24 @@ def cmd_serve(args: argparse.Namespace) -> int:
     warmup = warm_registry(
         names=args.only,
         backend=args.backend,
-        prime=not args.no_prime,
+        # In process mode the workers prime (and self-test) their own
+        # copies — the parent's primed caches would never grade a
+        # request, so priming the registry N+1 times is skipped.
+        prime=not args.no_prime and executor != "process",
+        engine=args.engine,
+        explorer=args.explorer,
         progress=warmed,
     )
     print(f"warmup done: {len(warmup)} problems in {warmup.total_time_s:.2f}s")
 
     cache = ResultCache(args.cache) if args.cache else ResultCache()
+    if executor == "process":
+        workers = args.workers if args.workers is not None else args.jobs
+        sharding = "sharded" if args.shard_problems else "replicated"
+        print(
+            f"forking {workers} pre-warmed grading worker(s) "
+            f"({sharding} problems) ..."
+        )
     service = FeedbackService(
         warmup=warmup,
         jobs=args.jobs,
@@ -200,14 +230,18 @@ def cmd_serve(args: argparse.Namespace) -> int:
         default_timeout_s=args.timeout,
         backend=args.backend,
         explorer=args.explorer,
+        executor=executor,
+        workers=args.workers,
+        shard=args.shard_problems,
+        prime_workers=not args.no_prime,
     )
     server = FeedbackHTTPServer(
         service, host=args.host, port=args.port, verbose=args.verbose
     )
     print(
         f"serving on http://{args.host}:{server.port}  "
-        f"(jobs={args.jobs}, queue={args.queue}, "
-        f"cache={args.cache or 'in-memory'})"
+        f"(executor={service.executor}, jobs={args.jobs}, "
+        f"queue={args.queue}, cache={args.cache or 'in-memory'})"
     )
     try:
         server.serve_forever()
@@ -307,6 +341,31 @@ def main(argv: Optional[list] = None) -> int:
     serve.add_argument("--port", type=int, default=8321)
     serve.add_argument(
         "--jobs", type=int, default=2, help="concurrent grading slots"
+    )
+    serve.add_argument(
+        "--executor",
+        default=None,
+        choices=["thread", "process"],
+        help=(
+            "where admitted gradings run: 'process' (default on multi-core "
+            "machines) forks pre-warmed worker processes so cache misses "
+            "scale across cores; 'thread' (default on one core) grades on "
+            "the request thread, GIL-bound"
+        ),
+    )
+    serve.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="grading worker processes for --executor process "
+        "(default: --jobs)",
+    )
+    serve.add_argument(
+        "--shard-problems",
+        action="store_true",
+        help="partition warm problems across worker processes instead of "
+        "replicating them into every worker: bounds per-process warm "
+        "memory, at the price of serializing requests that hit one shard",
     )
     serve.add_argument(
         "--queue",

@@ -9,17 +9,23 @@ materialized bounded-verification table, and a priming grade that walks
 the entire pipeline — so a request never recompiles anything.
 
 - :mod:`repro.server.warm` — per-problem warm artifacts + startup
-  self-test;
+  self-test (primed with the *serving* engine configuration);
 - :mod:`repro.server.service` — transport-independent grading core:
   admission queue with backpressure, in-flight dedup, shared result
-  cache with periodic merge-persistence, graceful drain;
+  cache with periodic merge-persistence, graceful drain, and a
+  pluggable grading executor: ``thread`` grades on the request thread
+  (GIL-bound), ``process`` fans cache misses out over a
+  :class:`~repro.service.workers.ProcessExecutor` pool of preforked,
+  pre-warmed worker processes (optional problem sharding, automatic
+  recycling of crashed or wedged workers);
 - :mod:`repro.server.http` — stdlib ``ThreadingHTTPServer`` JSON facade
   (``POST /grade``, ``GET /problems``, ``GET /healthz``, ``GET
   /stats``);
 - :mod:`repro.server.client` — stdlib client used by benchmarks and CI.
 
 Start it with ``repro-feedback serve --port 8321 --jobs 4`` (or
-``python -m repro.server``).
+``python -m repro.server``); ``--executor process --workers 4`` is the
+default on a multi-core box.
 """
 
 from repro.server.client import FeedbackClient, ServerError
@@ -29,7 +35,14 @@ from repro.server.service import (
     GradeOutcome,
     QueueFull,
     ServiceClosed,
+    ThreadExecutor,
     UnknownProblem,
+)
+from repro.service.workers import (
+    EXECUTORS,
+    ProcessExecutor,
+    default_executor,
+    resolve_executor,
 )
 from repro.server.warm import (
     Warmup,
@@ -40,18 +53,23 @@ from repro.server.warm import (
 )
 
 __all__ = [
+    "EXECUTORS",
     "FeedbackClient",
     "FeedbackHTTPServer",
     "FeedbackRequestHandler",
     "FeedbackService",
     "GradeOutcome",
+    "ProcessExecutor",
     "QueueFull",
     "ServerError",
     "ServiceClosed",
+    "ThreadExecutor",
     "UnknownProblem",
     "WarmProblem",
     "Warmup",
     "WarmupError",
+    "default_executor",
+    "resolve_executor",
     "warm_problem",
     "warm_registry",
 ]

@@ -11,22 +11,61 @@ from __future__ import annotations
 
 import http.client
 import json
+import socket
 from typing import Optional
+
+class _DeadBeforeSend(http.client.RemoteDisconnected):
+    """The request bytes never (fully) reached the server — the socket
+    was already closed when we wrote. Same meaning as stdlib
+    ``RemoteDisconnected`` (which fires when the close is noticed one
+    step later, at ``getresponse``), hence the subclass."""
+
+
+#: Failures that mean the server closed a kept-alive connection before
+#: sending any response byte. On a *reused* connection this is the normal
+#: end-of-life of a stale keep-alive — the request died with the socket
+#: and was never processed, so resending it once is safe even for
+#: non-idempotent ``POST /grade``. A non-empty ``BadStatusLine`` (garbled
+#: bytes, not silence) is strictly-speaking ambiguous, but it only occurs
+#: on the same stale-close race and is treated the same; timeouts — where
+#: the server demonstrably *did* receive the request — are what must
+#: never retry.
+_STALE_KEEPALIVE_ERRORS = (
+    http.client.RemoteDisconnected,  # _DeadBeforeSend included
+    http.client.BadStatusLine,
+)
 
 
 class ServerError(RuntimeError):
     """A non-200 response from the feedback server."""
 
-    def __init__(self, status: int, payload: dict):
+    def __init__(
+        self,
+        status: int,
+        payload: dict,
+        retry_after_header: Optional[str] = None,
+    ):
         super().__init__(
             f"HTTP {status}: {payload.get('error', 'unknown error')}"
         )
         self.status = status
         self.payload = payload
+        self.retry_after_header = retry_after_header
 
     @property
     def retry_after_s(self) -> Optional[float]:
-        return self.payload.get("retry_after_s")
+        """The server's retry hint: the JSON field when present, else the
+        standard ``Retry-After`` header (which every 429 carries, even if
+        a proxy rewrote the body)."""
+        hint = self.payload.get("retry_after_s")
+        if hint is not None:
+            return hint
+        if self.retry_after_header is not None:
+            try:
+                return float(self.retry_after_header)
+            except ValueError:
+                return None
+        return None
 
 
 class FeedbackClient:
@@ -38,44 +77,73 @@ class FeedbackClient:
         self.port = port
         self.timeout_s = timeout_s
         self._conn: Optional[http.client.HTTPConnection] = None
+        #: Whether ``_conn`` has completed at least one exchange — only
+        #: such a connection can be a stale keep-alive worth one retry.
+        self._conn_used = False
 
     def _connection(self) -> http.client.HTTPConnection:
         if self._conn is None:
             self._conn = http.client.HTTPConnection(
                 self.host, self.port, timeout=self.timeout_s
             )
+            self._conn_used = False
         return self._conn
 
     def _request(
         self, method: str, path: str, body: Optional[dict] = None
     ) -> dict:
-        conn = self._connection()
         headers = {}
         encoded = None
         if body is not None:
             encoded = json.dumps(body).encode("utf-8")
             headers["Content-Type"] = "application/json"
+        reused = self._conn is not None and self._conn_used
+        try:
+            return self._send(method, path, encoded, headers)
+        except socket.timeout:
+            # Deliberately NOT retried: a timed-out POST /grade may still
+            # be solving server-side — resending would double-submit
+            # non-idempotent work. (Retrying *any* OSError here used to do
+            # exactly that.) The caller owns timeout policy.
+            self.close()
+            raise
+        except _STALE_KEEPALIVE_ERRORS:
+            if not reused:
+                # A *fresh* connection the server hung up on is a server
+                # problem, not an idled-out keep-alive; surface it.
+                self.close()
+                raise
+            # Stale keep-alive: the server closed the idle connection
+            # without sending a response byte — the request died with the
+            # socket and was never processed; resend once, fresh.
+            self.close()
+            return self._send(method, path, encoded, headers)
+        except (OSError, http.client.HTTPException):
+            self.close()
+            raise
+
+    def _send(self, method: str, path: str, encoded, headers) -> dict:
+        conn = self._connection()
         try:
             conn.request(method, path, body=encoded, headers=headers)
-            response = conn.getresponse()
-            payload = json.loads(response.read() or b"{}")
-            status = response.status
-        except (OSError, http.client.HTTPException):
-            # One reconnect: the server may have idled out the keep-alive.
-            self.close()
-            conn = self._connection()
-            conn.request(method, path, body=encoded, headers=headers)
-            response = conn.getresponse()
-            payload = json.loads(response.read() or b"{}")
-            status = response.status
-        if status != 200:
-            raise ServerError(status, payload)
+        except (BrokenPipeError, ConnectionResetError) as exc:
+            raise _DeadBeforeSend(str(exc)) from exc
+        response = conn.getresponse()
+        payload = json.loads(response.read() or b"{}")
+        self._conn_used = True  # a whole response arrived: truly kept alive
+        if response.status != 200:
+            raise ServerError(
+                response.status,
+                payload,
+                retry_after_header=response.getheader("Retry-After"),
+            )
         return payload
 
     def close(self) -> None:
         if self._conn is not None:
             self._conn.close()
             self._conn = None
+            self._conn_used = False
 
     # -- endpoints ----------------------------------------------------------
 

@@ -10,7 +10,9 @@ never needs its own concurrency story. Endpoints:
   ..., "deduped": ..., "wall_time": ...}``;
 - ``GET /problems`` — the warm-problem table;
 - ``GET /healthz`` — liveness (``ok`` / ``draining``);
-- ``GET /stats`` — counters, queue depth, cache statistics.
+- ``GET /stats`` — counters, queue depth, cache statistics, and the
+  grading-executor view (kind, worker count, shard assignments,
+  recycle count).
 
 Errors are JSON too: 400 malformed request, 404 unknown problem or
 path, 429 queue full (with a ``Retry-After`` header), 503 draining.

@@ -11,6 +11,15 @@ drive it directly with threads. One instance owns:
   is rejected immediately with a retry hint (backpressure beats
   unbounded latency — a queue that can only grow is an outage with
   extra steps);
+- a **grading executor** (``executor="thread" | "process"``): where an
+  admitted cache-miss actually runs. ``thread`` grades on the request
+  thread against the shared warm verifiers — simple, but the engine
+  loop is pure-Python CPU work, so the GIL caps throughput at one core
+  no matter what ``jobs`` says. ``process`` dispatches to a
+  :class:`~repro.service.workers.ProcessExecutor` pool of preforked,
+  pre-warmed worker processes (optionally sharding problems across
+  workers), the only configuration where ``--jobs 4`` buys 4 cores of
+  cache-miss throughput;
 - **in-flight dedup**: concurrent identical submissions (same cache
   key) ride one grading — the followers await the leader's record
   without consuming admission slots;
@@ -33,18 +42,20 @@ from typing import Dict, Optional
 from concurrent.futures import Future
 
 from repro.compile import resolve_backend
-from repro.core.api import generate_feedback
-from repro.engines import ENGINES, engine_by_name
+from repro.engines import ENGINES
 from repro.explore import resolve_explorer
 from repro.server.warm import Warmup, warm_registry
 from repro.service.cache import ResultCache, cache_key, engine_label
 from repro.service.canonical import canonicalize
-from repro.service.runner import (
-    DEFAULT_TIMEOUT_S,
-    ERROR,
-    error_record,
+from repro.service.runner import DEFAULT_TIMEOUT_S
+from repro.service.records import ERROR, error_record
+from repro.service.workers import (
+    PROCESS,
+    THREAD,
+    ProcessExecutor,
+    grade_record,
+    resolve_executor,
 )
-from repro.service.records import report_to_record
 
 
 class UnknownProblem(KeyError):
@@ -79,6 +90,51 @@ class GradeOutcome:
     wall_time: float = 0.0
 
 
+class ThreadExecutor:
+    """Grade on the calling request thread against shared warm state.
+
+    The zero-infrastructure executor: no extra processes, submissions
+    share the parent's fully-materialized verifiers. The price is the
+    GIL — concurrent cache-miss gradings serialize, so ``jobs`` buys
+    overlap only with I/O, never with other solves. The actual grading
+    is :func:`~repro.service.workers.grade_record`, the same per-call-
+    pinned helper the process workers run — the executors cannot drift.
+    """
+
+    kind = THREAD
+
+    def __init__(
+        self,
+        warmup: Warmup,
+        backend: Optional[str],
+        explorer: bool,
+    ):
+        self._warmup = warmup
+        self._backend = backend
+        self._explorer = explorer
+
+    def grade(
+        self, problem: str, source: str, engine_name: str, timeout_s: float
+    ) -> dict:
+        warm = self._warmup[problem]
+        return grade_record(
+            warm.spec,
+            warm.model,
+            warm.verifier,
+            source,
+            engine_name,
+            timeout_s,
+            self._backend,
+            self._explorer,
+        )
+
+    def close(self) -> None:
+        pass
+
+    def info(self) -> dict:
+        return {"kind": self.kind}
+
+
 class FeedbackService:
     """Thread-safe grading service over a set of warm problems."""
 
@@ -93,6 +149,10 @@ class FeedbackService:
         default_timeout_s: float = DEFAULT_TIMEOUT_S,
         backend: Optional[str] = None,
         explorer: Optional[bool] = None,
+        executor: Optional[str] = None,
+        workers: Optional[int] = None,
+        shard: bool = False,
+        prime_workers: Optional[bool] = None,
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -100,7 +160,27 @@ class FeedbackService:
             raise ValueError("queue_limit must be >= 0")
         if default_engine not in ENGINES:
             raise ValueError(f"unknown engine {default_engine!r}")
-        self.warmup = warmup if warmup is not None else warm_registry()
+        if workers is not None and workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.executor = resolve_executor(executor)
+        if warmup is None:
+            # In process mode the parent's warm state never grades a
+            # request — the workers prime (and self-test) their own
+            # copies, so the parent skips the priming pass.
+            if self.executor == PROCESS and prime_workers is None:
+                prime_workers = True
+            warmup = warm_registry(
+                engine=default_engine,
+                explorer=explorer,
+                prime=self.executor != PROCESS,
+            )
+        # The parent warmup stays fully materialized even in process
+        # mode: /problems reports table sizes from it, canonicalize
+        # needs the specs, and per-request engine overrides keep the
+        # thread-identical semantics available. One resident copy of the
+        # tables is the accepted price; the *priming* pass (engine
+        # solves) is what process mode skips.
+        self.warmup = warmup
         self.jobs = jobs
         self.queue_limit = queue_limit
         self.cache = cache if cache is not None else ResultCache()
@@ -112,6 +192,35 @@ class FeedbackService:
         # matches the grading mode.
         self.backend = resolve_backend(backend)
         self.explorer = resolve_explorer(explorer)
+        self.workers = workers if workers is not None else jobs
+        if self.executor == PROCESS:
+            if prime_workers is None:
+                # Infer from the warmup: --no-prime means no priming
+                # anywhere. (The CLI passes this explicitly and skips the
+                # *parent* prime instead — in process mode the parent's
+                # primed caches never grade anything, so priming the
+                # registry N+1 times would be pure startup waste.)
+                prime_workers = all(
+                    warm.primed for warm in self.warmup.problems.values()
+                )
+            self._executor = ProcessExecutor(
+                problems=list(self.warmup.problems),
+                workers=self.workers,
+                default_engine=default_engine,
+                backend=self.backend,
+                explorer=self.explorer,
+                prime=prime_workers,
+                shard=shard,
+            )
+            # Block until every worker warmed its shard: the first cache
+            # miss must never pay a warmup (and a problem that fails its
+            # priming self-test must refuse startup, as in-thread warmup
+            # does).
+            self._executor.wait_ready()
+        else:
+            self._executor = ThreadExecutor(
+                self.warmup, self.backend, self.explorer
+            )
 
         self._slots = threading.Semaphore(jobs)
         self._inflight: Dict[str, Future] = {}
@@ -252,6 +361,7 @@ class FeedbackService:
             "queued": queued,
             "backend": self.backend,
             "explorer": self.explorer,
+            "executor": self._executor.info(),
             "by_status": by_status,
             "avg_grade_s": round(self._avg_grade_s, 4),
             "cache": self.cache.stats,
@@ -285,6 +395,9 @@ class FeedbackService:
             self._closed = True
             if drain:
                 self._idle.wait_for(lambda: self._pending == 0)
+        # After the drain, so worker processes never die under an
+        # in-flight grading a client is still owed.
+        self._executor.close()
         if persist and self.cache.path is not None:
             self.cache.save()
 
@@ -319,23 +432,12 @@ class FeedbackService:
         grade_started = time.monotonic()
         try:
             try:
-                # Configuration is pinned per call (engine.explorer +
-                # explicit backend=), never via the process-wide defaults:
-                # ``using_backend``/``using_explorer`` save-and-restore a
-                # global and are not safe from concurrent request threads.
-                engine = engine_by_name(engine_name)
-                engine.explorer = self.explorer
-                report = generate_feedback(
-                    source,
-                    warm.spec,
-                    warm.model,
-                    engine=engine,
-                    timeout_s=budget,
-                    verifier=warm.verifier,
-                    backend=self.backend,
+                record = self._executor.grade(
+                    warm.name, source, engine_name, budget
                 )
-                record = report_to_record(report)
             except Exception as exc:
+                # Executors return error records themselves; this catches
+                # executor-machinery failures (a dead pool, say).
                 record = error_record(warm.name, exc)
             return record
         finally:

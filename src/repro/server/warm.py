@@ -28,6 +28,7 @@ from repro.core.api import ALREADY_CORRECT, generate_feedback
 from repro.eml.rules import ErrorModel
 from repro.engines import engine_by_name
 from repro.engines.verify import BoundedVerifier
+from repro.explore import resolve_explorer
 from repro.problems import Problem, all_problems, get_problem
 from repro.service.canonical import model_digest
 
@@ -85,8 +86,17 @@ def warm_problem(
     backend: Optional[str] = None,
     prime: bool = True,
     prime_timeout_s: float = 30.0,
+    engine: str = "cegismin",
+    explorer: Optional[bool] = None,
 ) -> WarmProblem:
-    """Build the warm artifact for one problem."""
+    """Build the warm artifact for one problem.
+
+    ``engine`` and ``explorer`` are the *serving* configuration: priming
+    used to hardcode cegismin, so a server started with
+    ``default_engine="enumerative"`` never filled the caches its
+    requests actually hit, and the startup self-test silently covered a
+    configuration that would never serve a request.
+    """
     started = time.perf_counter()
     spec = problem.spec
     model = problem.model  # parses + checks the .eml file (lru-cached)
@@ -111,11 +121,13 @@ def warm_problem(
     )
     if prime:
         prime_started = time.perf_counter()
+        prime_engine = engine_by_name(engine)
+        prime_engine.explorer = resolve_explorer(explorer)
         report = generate_feedback(
             spec.reference_source,
             spec,
             model,
-            engine=engine_by_name("cegismin"),
+            engine=prime_engine,
             timeout_s=prime_timeout_s,
             verifier=verifier,
             backend=backend,
@@ -153,6 +165,8 @@ def warm_registry(
     backend: Optional[str] = None,
     prime: bool = True,
     prime_timeout_s: float = 30.0,
+    engine: str = "cegismin",
+    explorer: Optional[bool] = None,
     progress: Optional[Callable[[WarmProblem], None]] = None,
 ) -> Warmup:
     """Warm every named registry problem (default: all of them).
@@ -174,6 +188,8 @@ def warm_registry(
             backend=backend,
             prime=prime,
             prime_timeout_s=prime_timeout_s,
+            engine=engine,
+            explorer=explorer,
         )
         warmup.problems[problem.name] = warm
         if progress is not None:

@@ -13,6 +13,10 @@ of trivially-reformatted resubmissions. This package turns
   ``(problem, model digest, canonical hash)``;
 - :mod:`repro.service.records` — JSON-serializable feedback records;
 - :mod:`repro.service.jobstore` — JSONL persistence with batch resume;
+- :mod:`repro.service.workers` — shared worker-process machinery and the
+  :class:`~repro.service.workers.ProcessExecutor` pool of preforked,
+  pre-warmed grading workers (problem sharding, crash/timeout
+  recycling) the feedback server scales cache misses across cores with;
 - :mod:`repro.service.runner` — parallel batch runner over a process
   pool with deterministic ordering and progress callbacks.
 """
@@ -28,6 +32,7 @@ from repro.service.canonical import CanonicalForm, canonicalize, model_digest
 from repro.service.jobstore import JobStore
 from repro.service.records import (
     comparable_record,
+    error_record,
     record_to_report,
     report_to_record,
 )
@@ -36,7 +41,13 @@ from repro.service.runner import (
     BatchResult,
     BatchRunner,
     BatchStats,
-    error_record,
+)
+from repro.service.workers import (
+    EXECUTORS,
+    ProcessExecutor,
+    default_executor,
+    resolve_executor,
+    shard_problems,
 )
 
 __all__ = [
@@ -46,8 +57,13 @@ __all__ = [
     "BatchStats",
     "CanonicalForm",
     "DEFAULT_ENGINE",
+    "EXECUTORS",
     "JobStore",
+    "ProcessExecutor",
     "ResultCache",
+    "default_executor",
+    "resolve_executor",
+    "shard_problems",
     "cache_key",
     "canonicalize",
     "comparable_record",

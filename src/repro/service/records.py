@@ -19,6 +19,26 @@ from repro.core.feedback import FeedbackItem
 #: so stale job stores / caches are rejected instead of misread.
 RECORD_VERSION = 1
 
+#: Status of a submission whose grading *raised* (a pipeline bug, not a
+#: property of the submission). Error records are settled and counted but
+#: never cached or persisted — a retry must re-grade, not replay the crash.
+ERROR = "error"
+
+
+def error_record(problem: str, exc: BaseException) -> dict:
+    """The record for a grading that raised instead of classifying."""
+    return {
+        "v": RECORD_VERSION,
+        "status": ERROR,
+        "problem": problem,
+        "cost": None,
+        "minimal": False,
+        "fixed_source": None,
+        "wall_time": 0.0,
+        "detail": f"{type(exc).__name__}: {exc}",
+        "items": [],
+    }
+
 
 def report_to_record(report: FeedbackReport) -> dict:
     """Flatten a report to plain JSON types."""

@@ -32,18 +32,13 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Union
 
-from repro.compile import default_backend, set_default_backend, using_backend
+from repro.compile import default_backend, using_backend
 from repro.core.api import TIMEOUT as TIMEOUT_STATUS
 from repro.core.api import FeedbackReport, generate_feedback
-from repro.explore import (
-    resolve_explorer,
-    set_default_explorer,
-    using_explorer,
-)
+from repro.explore import resolve_explorer, using_explorer
 
 if TYPE_CHECKING:
     from repro.engines.verify import BoundedVerifier
-from repro.core.spec import ProblemSpec
 from repro.eml.rules import ErrorModel
 from repro.engines.base import Engine
 from repro.problems.registry import Problem
@@ -51,32 +46,14 @@ from repro.service.cache import ResultCache, cache_key, engine_label
 from repro.service.canonical import canonicalize, model_digest
 from repro.service.jobstore import JobStore
 from repro.service.records import (
-    RECORD_VERSION,
+    ERROR,
+    error_record,
     record_to_report,
     report_to_record,
 )
+from repro.service.workers import worker_grade, worker_init
 
 DEFAULT_TIMEOUT_S = 45.0
-
-#: Status of a submission whose grading *raised* (a pipeline bug, not a
-#: property of the submission). Error records are settled and counted but
-#: never cached or persisted — a retry must re-grade, not replay the crash.
-ERROR = "error"
-
-
-def error_record(problem: str, exc: BaseException) -> dict:
-    """The record for a grading that raised instead of classifying."""
-    return {
-        "v": RECORD_VERSION,
-        "status": ERROR,
-        "problem": problem,
-        "cost": None,
-        "minimal": False,
-        "fixed_source": None,
-        "wall_time": 0.0,
-        "detail": f"{type(exc).__name__}: {exc}",
-        "items": [],
-    }
 
 #: Callback signature: (settled so far, total, the result that settled).
 ProgressFn = Callable[[int, int, "BatchResult"], None]
@@ -135,59 +112,6 @@ def _make_engine(name: str) -> Engine:
     return engine_by_name(name)
 
 
-# -- process-pool workers ----------------------------------------------------
-#
-# Worker state is primed once per process by the pool initializer: the
-# bounded verifier's reference-outcome table is the expensive part of a
-# grading call, and must not be rebuilt per submission.
-
-_WORKER: dict = {}
-
-
-def _worker_init(
-    spec: ProblemSpec,
-    model: ErrorModel,
-    engine_name: str,
-    timeout_s: float,
-    backend: str,
-    explorer: bool,
-) -> None:
-    from repro.engines.verify import BoundedVerifier
-
-    # Pin the execution backend and explorer mode explicitly: workers must
-    # match the parent runner's configuration even under spawn-based
-    # process start methods.
-    set_default_backend(backend)
-    set_default_explorer(explorer)
-    verifier = BoundedVerifier(spec)
-    verifier.inputs  # materialize the reference table up front
-    _WORKER.update(
-        spec=spec,
-        model=model,
-        engine_name=engine_name,
-        timeout_s=timeout_s,
-        verifier=verifier,
-    )
-
-
-def _worker_grade(source: str) -> dict:
-    # A raising grading must come back as an error record, not kill the
-    # pool run: one pathological submission used to abort the whole batch
-    # and lose every in-flight result (and the batch still exited 0).
-    try:
-        report = generate_feedback(
-            source,
-            _WORKER["spec"],
-            _WORKER["model"],
-            engine=_make_engine(_WORKER["engine_name"]),
-            timeout_s=_WORKER["timeout_s"],
-            verifier=_WORKER["verifier"],
-        )
-    except Exception as exc:
-        return error_record(_WORKER["spec"].name, exc)
-    return report_to_record(report)
-
-
 class BatchRunner:
     """Grade a batch of submissions for one problem."""
 
@@ -235,10 +159,14 @@ class BatchRunner:
         self.explorer = resolve_explorer(explorer)
         self.stats = BatchStats()
         self._model_digest = model_digest(self.model)
+        # An engine *instance* contributes its full configuration to the
+        # key, not just its class: two differently-budgeted CegisMinEngines
+        # used to share one label and replay each other's verdicts (a
+        # no_fix found under max_cost=1 served to a max_cost=5 run).
         engine_name = (
             self.engine
             if isinstance(self.engine, str)
-            else type(self.engine).__name__
+            else self.engine.config_label()
         )
         #: Everything identity-relevant except the submission itself; a
         #: stored result is only reusable under the same problem, model,
@@ -411,13 +339,15 @@ class BatchRunner:
                 yield index, report_to_record(report)
 
     def _grade_parallel(self, batch, indices):
-        engine_name = (
-            self.engine if isinstance(self.engine, str) else "cegismin"
-        )
+        # The constructor rejects engine *instances* for jobs > 1, so the
+        # engine is always a registry name here (a silent fallback would
+        # grade under a different configuration than the cache key says).
+        assert isinstance(self.engine, str), self.engine
+        engine_name = self.engine
         workers = min(self.jobs, len(indices))
         with ProcessPoolExecutor(
             max_workers=workers,
-            initializer=_worker_init,
+            initializer=worker_init,
             initargs=(
                 self.problem.spec,
                 self.model,
@@ -428,7 +358,7 @@ class BatchRunner:
             ),
         ) as pool:
             futures = {
-                pool.submit(_worker_grade, batch[index].source): index
+                pool.submit(worker_grade, batch[index].source): index
                 for index in indices
             }
             outstanding = set(futures)

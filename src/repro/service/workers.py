@@ -1,0 +1,561 @@
+"""Grading executors: the process-level execution layer of the service.
+
+The engine loop is pure-Python CPU work, so a thread per request buys
+*zero* extra throughput on a multi-core box — the GIL serializes every
+solve. This module owns the two ways a grading actually runs:
+
+- the **shared worker-process machinery** the batch runner
+  (:class:`~repro.service.runner.BatchRunner`) forks per batch:
+  :func:`worker_init` / :func:`worker_grade` pin backend + explorer in
+  the child and prime one problem's verifier once per process;
+- :class:`ProcessExecutor`, the feedback server's long-lived pool of
+  **preforked, pre-warmed** worker processes. Each worker warms (and
+  primes, reusing :mod:`repro.server.warm`) its assigned problems once
+  at startup; requests are routed to a worker that owns the problem.
+  With ``shard=True`` the problem set is partitioned across workers so
+  per-process warm memory stays bounded; without it every worker warms
+  every problem and any free worker can take any request. A worker that
+  crashes or blows through its watchdog budget is **recycled** — killed
+  and respawned — so one pathological submission can never permanently
+  wedge a grading slot.
+
+The thread executor (grade on the calling request thread, the PR-4
+behavior) lives next to :class:`~repro.server.service.FeedbackService`;
+both satisfy the same two-method contract: ``grade(problem, source,
+engine_name, timeout_s) -> record`` and ``close()``, plus an ``info()``
+payload for ``GET /stats``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import multiprocessing
+import os
+import threading
+from typing import Dict, List, Optional, Sequence
+
+from repro.compile import set_default_backend
+from repro.core.api import generate_feedback
+from repro.engines import engine_by_name
+from repro.explore import set_default_explorer
+from repro.service.records import error_record, report_to_record
+
+THREAD = "thread"
+PROCESS = "process"
+EXECUTORS = (THREAD, PROCESS)
+
+
+def default_executor() -> str:
+    """The executor the ``serve`` CLI picks when none is named.
+
+    Process-sharded grading is the only way cache misses scale past one
+    core, so it is the default whenever there is more than one core to
+    scale onto; a single-core box gets nothing from forking and keeps
+    the in-thread path.
+    """
+    return PROCESS if (os.cpu_count() or 1) > 1 else THREAD
+
+
+def resolve_executor(executor: Optional[str]) -> str:
+    """Validate an executor choice.
+
+    ``None`` falls back to the ``REPRO_EXECUTOR`` environment variable
+    (how CI runs one suite under both executors) and then to ``thread``
+    — the library default stays in-process so embedding a
+    :class:`~repro.server.service.FeedbackService` never forks behind
+    the caller's back; the CLI opts into :func:`default_executor`.
+    """
+    if executor is None:
+        executor = os.environ.get("REPRO_EXECUTOR") or THREAD
+    if executor not in EXECUTORS:
+        raise ValueError(
+            f"unknown executor {executor!r}; expected one of {EXECUTORS}"
+        )
+    return executor
+
+
+def shard_problems(
+    names: Sequence[str], shards: int
+) -> List[List[str]]:
+    """Partition problem names round-robin over up to ``shards`` buckets.
+
+    Deterministic (sorted input order) so every service instance — and a
+    restarted worker — computes the same routing; no bucket is ever
+    empty (fewer problems than shards means fewer buckets).
+    """
+    ordered = sorted(set(names))
+    buckets: List[List[str]] = [
+        [] for _ in range(max(1, min(shards, len(ordered))))
+    ]
+    for index, name in enumerate(ordered):
+        buckets[index % len(buckets)].append(name)
+    return buckets
+
+
+def grade_record(
+    spec,
+    model,
+    verifier,
+    source: str,
+    engine_name: str,
+    timeout_s: float,
+    backend: Optional[str],
+    explorer: Optional[bool],
+) -> dict:
+    """Grade one submission against warm per-problem state → record.
+
+    The one grading call every executor shares: configuration is pinned
+    per call (fresh engine with an explicit explorer, explicit
+    ``backend=``), never via process-wide defaults, so records are
+    byte-identical whichever executor ran them. A raising grading comes
+    back as an error record, not an exception — one pathological
+    submission must cost its own slot only.
+    """
+    try:
+        engine = engine_by_name(engine_name)
+        engine.explorer = explorer
+        report = generate_feedback(
+            source,
+            spec,
+            model,
+            engine=engine,
+            timeout_s=timeout_s,
+            verifier=verifier,
+            backend=backend,
+        )
+    except Exception as exc:
+        return error_record(spec.name, exc)
+    return report_to_record(report)
+
+
+# -- single-problem batch workers (ProcessPoolExecutor protocol) -------------
+#
+# Worker state is primed once per process by the pool initializer: the
+# bounded verifier's reference-outcome table is the expensive part of a
+# grading call, and must not be rebuilt per submission.
+
+_WORKER: dict = {}
+
+
+def worker_init(
+    spec,
+    model,
+    engine_name: str,
+    timeout_s: float,
+    backend: str,
+    explorer: bool,
+) -> None:
+    """Initializer for one-problem batch worker processes."""
+    from repro.engines.verify import BoundedVerifier
+
+    # Pin the execution backend and explorer mode explicitly: workers must
+    # match the parent runner's configuration even under spawn-based
+    # process start methods.
+    set_default_backend(backend)
+    set_default_explorer(explorer)
+    verifier = BoundedVerifier(spec)
+    verifier.inputs  # materialize the reference table up front
+    _WORKER.update(
+        spec=spec,
+        model=model,
+        engine_name=engine_name,
+        timeout_s=timeout_s,
+        backend=backend,
+        explorer=explorer,
+        verifier=verifier,
+    )
+
+
+def worker_grade(source: str) -> dict:
+    """Grade one submission in a batch worker (see :func:`worker_init`)."""
+    return grade_record(
+        _WORKER["spec"],
+        _WORKER["model"],
+        _WORKER["verifier"],
+        source,
+        _WORKER["engine_name"],
+        _WORKER["timeout_s"],
+        _WORKER["backend"],
+        _WORKER["explorer"],
+    )
+
+
+# -- the server's preforked worker pool --------------------------------------
+
+
+def _pool_worker_main(
+    conn,
+    problem_names: List[str],
+    engine_name: str,
+    backend: Optional[str],
+    explorer: bool,
+    prime: bool,
+) -> None:
+    """One pool worker: warm the assigned problems, then serve the pipe.
+
+    Runs in the child process. Imports of the server package happen here,
+    not at module scope — :mod:`repro.server.warm` imports this package,
+    and the service layer must stay importable without the server.
+    """
+    from repro.problems import get_problem
+    from repro.server.warm import warm_problem
+
+    try:
+        if backend is not None:
+            set_default_backend(backend)
+        set_default_explorer(explorer)
+        state = {}
+        for name in problem_names:
+            state[name] = warm_problem(
+                get_problem(name),
+                backend=backend,
+                prime=prime,
+                engine=engine_name,
+                explorer=explorer,
+            )
+        conn.send(("ready", sorted(state)))
+    except BaseException as exc:  # report, then die: parent decides
+        try:
+            conn.send(("failed", f"{type(exc).__name__}: {exc}"))
+        except OSError:
+            pass
+        return
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError, KeyboardInterrupt):
+            return
+        if not isinstance(message, tuple) or message[0] != "grade":
+            return  # "stop" or garbage: either way, exit cleanly
+        _, problem, source, request_engine, timeout_s = message
+        warm = state.get(problem)
+        if warm is None:
+            record = error_record(
+                problem,
+                KeyError(f"problem {problem!r} is not warmed in this worker"),
+            )
+        else:
+            record = grade_record(
+                warm.spec,
+                warm.model,
+                warm.verifier,
+                source,
+                request_engine,
+                timeout_s,
+                backend,
+                explorer,
+            )
+        try:
+            conn.send(("record", record))
+        except (BrokenPipeError, OSError):
+            return
+
+
+class _WorkerHandle:
+    """Parent-side view of one worker process (one request at a time)."""
+
+    __slots__ = ("index", "problems", "process", "conn", "lock", "ready")
+
+    def __init__(self, index: int, problems: List[str]):
+        self.index = index
+        #: The problems this worker warms; routing only offers it those.
+        self.problems = list(problems)
+        self.process = None
+        self.conn = None
+        self.lock = threading.Lock()
+        self.ready = False
+
+
+class ProcessExecutor:
+    """A pool of preforked, pre-warmed grading worker processes.
+
+    Construction spawns the workers immediately; each warms (and primes)
+    its assigned problems in parallel with its siblings. Call
+    :meth:`wait_ready` to block until every worker has reported in —
+    the service does this before taking traffic, so the first cache miss
+    never pays a warmup.
+    """
+
+    kind = PROCESS
+
+    #: Watchdog slack beyond the per-request solver budget: the engine
+    #: already enforces ``timeout_s`` itself, so a worker silent for this
+    #: long past it is wedged (e.g. stuck in uninterruptible C-level
+    #: work), not slow — kill and respawn it.
+    grace_s = 15.0
+
+    #: How long a worker may take to warm its shard before the executor
+    #: declares startup failed.
+    ready_timeout_s = 600.0
+
+    def __init__(
+        self,
+        problems: Sequence[str],
+        workers: int = 2,
+        default_engine: str = "cegismin",
+        backend: Optional[str] = None,
+        explorer: Optional[bool] = None,
+        prime: bool = True,
+        shard: bool = False,
+        grace_s: Optional[float] = None,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        if not problems:
+            raise ValueError("a ProcessExecutor needs at least one problem")
+        self.problems = sorted(set(problems))
+        self.default_engine = default_engine
+        self.backend = backend
+        self.explorer = explorer
+        self.prime = prime
+        self.sharded = shard
+        if grace_s is not None:
+            self.grace_s = grace_s
+        self._ctx = multiprocessing.get_context()
+        self._recycled = 0
+        self._rr = itertools.count()
+        self._state_lock = threading.Lock()  # counters + respawn
+        self._closed = False
+        assignments = (
+            shard_problems(self.problems, workers)
+            if shard
+            else [list(self.problems)] * workers
+        )
+        self.workers = len(assignments)
+        self._workers = [
+            _WorkerHandle(index, assigned)
+            for index, assigned in enumerate(assignments)
+        ]
+        #: problem name -> the handles that warm it (routing table).
+        self._routes: Dict[str, List[_WorkerHandle]] = {
+            name: [h for h in self._workers if name in h.problems]
+            for name in self.problems
+        }
+        for handle in self._workers:
+            self._start(handle)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def _start(self, handle: _WorkerHandle) -> None:
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_pool_worker_main,
+            args=(
+                child_conn,
+                handle.problems,
+                self.default_engine,
+                self.backend,
+                self.explorer,
+                self.prime,
+            ),
+            name=f"repro-grader-{handle.index}",
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        handle.process = process
+        handle.conn = parent_conn
+        handle.ready = False
+
+    def _await_ready(
+        self, handle: _WorkerHandle, timeout: Optional[float] = None
+    ) -> None:
+        """Consume the worker's startup report (caller holds its lock).
+
+        Raises :class:`TimeoutError` when the worker is *still warming*
+        (it is healthy, just not done — do not kill it) and
+        :class:`RuntimeError` when it reported a failed warmup.
+        """
+        if handle.ready:
+            return
+        window = timeout if timeout is not None else self.ready_timeout_s
+        if not handle.conn.poll(window):
+            raise TimeoutError(
+                f"grading worker {handle.index} did not finish warming "
+                f"{handle.problems} within {window:.0f}s"
+            )
+        kind, payload = handle.conn.recv()
+        if kind != "ready":
+            raise RuntimeError(
+                f"grading worker {handle.index} failed to warm "
+                f"{handle.problems}: {payload}"
+            )
+        handle.ready = True
+
+    def wait_ready(self) -> None:
+        """Block until every worker warmed its shard; raise on failure.
+
+        A failed worker (a problem that flunks its priming self-test,
+        say) fails the whole executor — a pool that silently serves a
+        subset of its problems would turn requests for the rest into
+        errors much harder to diagnose than a refused startup.
+        """
+        try:
+            for handle in self._workers:
+                with handle.lock:
+                    self._await_ready(handle)
+        except BaseException:
+            self.close()
+            raise
+
+    def _recycle(self, handle: _WorkerHandle) -> None:
+        """Kill and respawn a crashed/wedged worker (caller holds lock)."""
+        process = handle.process
+        if process is not None and process.is_alive():
+            process.kill()
+            process.join(5.0)
+        if handle.conn is not None:
+            handle.conn.close()
+        with self._state_lock:
+            # Respawn under the state lock: a close() that set _closed
+            # has either already seen this handle (and will stop the
+            # replacement when it reaches it) or is still waiting for
+            # this lock — either way no worker outlives the executor.
+            self._recycled += 1
+            if not self._closed:
+                self._start(handle)
+
+    def close(self) -> None:
+        """Stop every worker. Safe to call twice.
+
+        Each slot is stopped under its own lock so the pipe is never
+        touched concurrently with an in-flight grading
+        (``multiprocessing.Connection`` is not thread-safe). A slot
+        whose lock cannot be had promptly — a grading still running
+        after a drain-less close — is killed without the handshake; its
+        grading thread sees EOF and reports an error record.
+        """
+        with self._state_lock:
+            self._closed = True
+        for handle in self._workers:
+            locked = handle.lock.acquire(timeout=2.0)
+            try:
+                conn, process = handle.conn, handle.process
+                if locked and conn is not None:
+                    try:
+                        conn.send(("stop",))
+                    except OSError:
+                        pass
+                if process is not None:
+                    process.join(2.0)
+                    if process.is_alive():
+                        process.kill()
+                        process.join(5.0)
+                if locked and conn is not None:
+                    conn.close()
+            finally:
+                if locked:
+                    handle.lock.release()
+
+    # -- request path --------------------------------------------------------
+
+    def _acquire(self, problem: str) -> _WorkerHandle:
+        """A locked handle for a worker that warms ``problem``.
+
+        Preference order, rotating the starting offset so unsharded
+        pools spread load: idle *ready* workers, then idle ones still
+        warming (startup, or a recycled slot mid-re-warm — a request
+        stuck waiting on a warmup is strictly worse than one queued
+        behind a short grading), then block on one round-robin —
+        fairness comes from the service's admission gate, which bounds
+        how many requests contend here.
+        """
+        eligible = self._routes.get(problem)
+        if not eligible:
+            raise KeyError(f"no grading worker warms problem {problem!r}")
+        offset = next(self._rr)
+        count = len(eligible)
+        for only_ready in (True, False):
+            for index in range(count):
+                handle = eligible[(offset + index) % count]
+                # handle.ready is read unlocked: stale False just demotes
+                # a freshly-ready worker to the second pass.
+                if only_ready and not handle.ready:
+                    continue
+                if handle.lock.acquire(blocking=False):
+                    return handle
+        ready = [handle for handle in eligible if handle.ready]
+        pool = ready or eligible
+        handle = pool[offset % len(pool)]
+        handle.lock.acquire()
+        return handle
+
+    def grade(
+        self, problem: str, source: str, engine_name: str, timeout_s: float
+    ) -> dict:
+        """Dispatch one grading to a worker owning ``problem``."""
+        handle = self._acquire(problem)
+        window = max(0.0, timeout_s) + self.grace_s
+        try:
+            if not handle.ready:
+                # A freshly recycled worker re-warms asynchronously; wait
+                # at most this request's own budget for it — holding the
+                # admission slot for ready_timeout_s would re-create the
+                # wedge the watchdog exists to break.
+                try:
+                    self._await_ready(handle, timeout=window)
+                except TimeoutError as exc:
+                    # Still warming — healthy, just slow. Leave it alone
+                    # (killing it would restart the warmup from zero).
+                    return error_record(problem, exc)
+                except (EOFError, RuntimeError, OSError) as exc:
+                    # Warmup failed outright (reported failure, or the
+                    # worker died mid-warm and the pipe hit EOF): this
+                    # worker will never serve; replace it and report the
+                    # loss. Ordering matters — TimeoutError is an
+                    # OSError, so the leave-it-alone case is caught
+                    # above.
+                    self._recycle(handle)
+                    return error_record(problem, exc)
+            try:
+                handle.conn.send(
+                    ("grade", problem, source, engine_name, timeout_s)
+                )
+                if handle.conn.poll(window):
+                    kind, record = handle.conn.recv()
+                    if kind == "record":
+                        return record
+                    raise RuntimeError(
+                        f"unexpected worker reply {kind!r}"
+                    )
+            except (EOFError, BrokenPipeError, ConnectionResetError, OSError) as exc:
+                # The worker died mid-request; the submission's grading is
+                # lost (status=error, never cached) but the slot is not.
+                self._recycle(handle)
+                return error_record(
+                    problem,
+                    RuntimeError(
+                        f"grading worker {handle.index} died mid-request "
+                        f"({type(exc).__name__}); worker recycled"
+                    ),
+                )
+            # poll() timed out: the engine's own deadline is long past, so
+            # the worker is wedged — recycle it and report the loss.
+            self._recycle(handle)
+            return error_record(
+                problem,
+                TimeoutError(
+                    f"grading worker {handle.index} still busy "
+                    f"{self.grace_s:.0f}s past the {timeout_s:.0f}s budget; "
+                    "worker recycled"
+                ),
+            )
+        finally:
+            handle.lock.release()
+
+    # -- observability -------------------------------------------------------
+
+    def info(self) -> dict:
+        """The ``GET /stats`` view of the pool."""
+        with self._state_lock:
+            recycled = self._recycled
+        return {
+            "kind": self.kind,
+            "workers": self.workers,
+            "sharded": self.sharded,
+            "recycled": recycled,
+            "assignments": {
+                str(handle.index): list(handle.problems)
+                for handle in self._workers
+            },
+        }

@@ -1,0 +1,299 @@
+"""Process-executor machinery: sharding, routing, recycling, priming.
+
+The differential suite (``test_executor_differential.py``) proves the
+executors produce identical records; this module tests the machinery
+itself — worker lifecycle, crash/watchdog recycling, shard routing —
+plus the warm-priming engine fix the executor relies on (workers prime
+with the *serving* engine, not a hardcoded one).
+"""
+
+import pytest
+
+from repro.problems import get_problem
+from repro.server import FeedbackService, warm_registry
+from repro.server import warm as warm_mod
+from repro.service.workers import (
+    ProcessExecutor,
+    default_executor,
+    resolve_executor,
+    shard_problems,
+)
+
+BUGGY = """def iterPower(base, exp):
+    result = 0
+    for i in range(exp):
+        result = result * base
+    return result
+"""
+
+
+class WedgedConn:
+    """A connection whose replies never arrive: deterministic stand-in
+    for a worker stuck in uninterruptible work (or still warming)."""
+
+    def __init__(self, conn):
+        self._conn = conn
+
+    def poll(self, timeout=None):
+        return False
+
+    def __getattr__(self, name):
+        return getattr(self._conn, name)
+
+
+class TestExecutorResolution:
+    def test_explicit_choice_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXECUTOR", "process")
+        assert resolve_executor("thread") == "thread"
+
+    def test_env_fallback_then_thread(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EXECUTOR", "process")
+        assert resolve_executor(None) == "process"
+        monkeypatch.delenv("REPRO_EXECUTOR")
+        assert resolve_executor(None) == "thread"
+
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError):
+            resolve_executor("fibers")
+
+    def test_default_tracks_core_count(self, monkeypatch):
+        import repro.service.workers as workers_mod
+
+        monkeypatch.setattr(workers_mod.os, "cpu_count", lambda: 8)
+        assert default_executor() == "process"
+        monkeypatch.setattr(workers_mod.os, "cpu_count", lambda: 1)
+        assert default_executor() == "thread"
+
+
+class TestShardAssignment:
+    def test_partition_covers_and_is_disjoint(self):
+        names = [f"p{i}" for i in range(7)]
+        buckets = shard_problems(names, 3)
+        assert len(buckets) == 3
+        flat = [name for bucket in buckets for name in bucket]
+        assert sorted(flat) == sorted(names)  # cover, no duplicates
+
+    def test_deterministic_regardless_of_input_order(self):
+        names = ["c", "a", "b", "d"]
+        assert shard_problems(names, 2) == shard_problems(
+            list(reversed(names)), 2
+        )
+
+    def test_more_shards_than_problems_collapses(self):
+        assert shard_problems(["only"], 4) == [["only"]]
+
+
+@pytest.fixture(scope="module")
+def pool():
+    executor = ProcessExecutor(
+        problems=["iterPower-6.00x", "prodBySum-6.00"],
+        workers=2,
+        shard=True,
+    )
+    executor.wait_ready()
+    yield executor
+    executor.close()
+
+
+class TestProcessExecutor:
+    def test_sharded_routing_serves_both_problems(self, pool):
+        assignments = pool.info()["assignments"]
+        owned = sorted(
+            name for bucket in assignments.values() for name in bucket
+        )
+        assert owned == ["iterPower-6.00x", "prodBySum-6.00"]
+        # Disjoint shards: each worker warmed exactly one problem.
+        assert all(len(bucket) == 1 for bucket in assignments.values())
+        record = pool.grade("iterPower-6.00x", BUGGY, "cegismin", 20.0)
+        assert record["status"] == "fixed"
+        reference = get_problem("prodBySum-6.00").spec.reference_source
+        record = pool.grade("prodBySum-6.00", reference, "cegismin", 20.0)
+        assert record["status"] == "already_correct"
+
+    def test_unrouted_problem_is_an_error(self, pool):
+        with pytest.raises(KeyError):
+            pool.grade("not-a-problem", BUGGY, "cegismin", 5.0)
+
+    def test_crashed_worker_is_recycled_and_slot_recovers(self, pool):
+        recycled_before = pool.info()["recycled"]
+        handle = pool._routes["iterPower-6.00x"][0]
+        handle.process.kill()  # simulate a segfaulting grading
+        handle.process.join(10.0)
+        record = pool.grade("iterPower-6.00x", BUGGY, "cegismin", 20.0)
+        assert record["status"] == "error"
+        assert "recycled" in record["detail"]
+        # The replacement worker re-warms and serves the next request.
+        record = pool.grade("iterPower-6.00x", BUGGY, "cegismin", 20.0)
+        assert record["status"] == "fixed"
+        assert pool.info()["recycled"] == recycled_before + 1
+
+    def test_watchdog_recycles_wedged_worker(self, pool):
+        recycled_before = pool.info()["recycled"]
+        handle = pool._routes["iterPower-6.00x"][0]
+        handle.conn = WedgedConn(handle.conn)
+        saved = pool.grace_s
+        pool.grace_s = 0.05  # don't sit out the real grace period
+        try:
+            record = pool.grade("iterPower-6.00x", BUGGY, "cegismin", 0.0)
+        finally:
+            pool.grace_s = saved
+        assert record["status"] == "error"
+        assert "recycled" in record["detail"]
+        assert pool.info()["recycled"] == recycled_before + 1
+        # _start() replaced the wedged connection with the fresh one.
+        assert not isinstance(handle.conn, WedgedConn)
+        record = pool.grade("iterPower-6.00x", BUGGY, "cegismin", 20.0)
+        assert record["status"] == "fixed"
+
+    def test_rewarming_worker_is_not_killed_by_impatient_requests(
+        self, pool
+    ):
+        # A recycled worker re-warms asynchronously. A request landing on
+        # it during the warmup must fail fast (its own budget, not
+        # ready_timeout_s) and must NOT kill the worker — recycling a
+        # healthy-but-warming worker would restart the warmup from zero,
+        # forever.
+        handle = pool._routes["iterPower-6.00x"][0]
+        recycled_before = pool.info()["recycled"]
+        real_conn = handle.conn
+        handle.conn = WedgedConn(real_conn)  # a warmup that never ends
+        handle.ready = False
+        saved = pool.grace_s
+        pool.grace_s = 0.05
+        try:
+            record = pool.grade("iterPower-6.00x", BUGGY, "cegismin", 0.0)
+        finally:
+            pool.grace_s = saved
+            handle.conn = real_conn
+            handle.ready = True
+        assert record["status"] == "error"
+        assert "did not finish warming" in record["detail"]
+        assert pool.info()["recycled"] == recycled_before  # left alone
+        assert handle.process.is_alive()
+        record = pool.grade("iterPower-6.00x", BUGGY, "cegismin", 20.0)
+        assert record["status"] == "fixed"
+
+    def test_worker_crashing_mid_warm_is_recycled(self, pool):
+        # Dying *during* the warmup (OOM-killed before the ready
+        # message) must not leave a permanently dead slot: the pipe EOF
+        # in the ready-wait recycles it like any other crash.
+        handle = pool._routes["iterPower-6.00x"][0]
+        recycled_before = pool.info()["recycled"]
+        handle.ready = False  # the warmup never completed...
+        handle.process.kill()  # ...because the worker died during it
+        handle.process.join(10.0)
+        record = pool.grade("iterPower-6.00x", BUGGY, "cegismin", 20.0)
+        assert record["status"] == "error"
+        assert pool.info()["recycled"] == recycled_before + 1
+        record = pool.grade("iterPower-6.00x", BUGGY, "cegismin", 20.0)
+        assert record["status"] == "fixed"
+
+
+class TestServiceIntegration:
+    def test_process_service_grades_and_reports_executor(self):
+        warmup = warm_registry(names=["iterPower-6.00x"])
+        service = FeedbackService(
+            warmup=warmup,
+            jobs=2,
+            executor="process",
+            workers=2,
+            default_timeout_s=20.0,
+        )
+        try:
+            outcome = service.grade("iterPower-6.00x", BUGGY)
+            assert outcome.record["status"] == "fixed"
+            info = service.stats()["executor"]
+            assert info["kind"] == "process"
+            assert info["workers"] == 2
+        finally:
+            service.close()
+
+    def test_thread_service_reports_executor(self):
+        warmup = warm_registry(names=["iterPower-6.00x"])
+        service = FeedbackService(
+            warmup=warmup, executor="thread", default_timeout_s=20.0
+        )
+        try:
+            assert service.stats()["executor"] == {"kind": "thread"}
+        finally:
+            service.close()
+
+    def test_workers_must_be_positive(self):
+        warmup = warm_registry(names=["iterPower-6.00x"])
+        with pytest.raises(ValueError):
+            FeedbackService(warmup=warmup, workers=0)
+
+
+class TestCliExecutorResolution:
+    def test_serve_honors_repro_executor_env_and_defers_priming(
+        self, capsys, monkeypatch
+    ):
+        # `REPRO_EXECUTOR` must steer the daemon too, not just library
+        # construction; and in process mode the parent skips priming
+        # (the workers prime and self-test their own copies).
+        from repro.cli import main
+        from repro.server import http as http_mod
+
+        def interrupted(self):
+            self._BaseServer__is_shut_down.set()
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(
+            http_mod.FeedbackHTTPServer, "serve_forever", interrupted
+        )
+        monkeypatch.setenv("REPRO_EXECUTOR", "process")
+        code = main(
+            ["serve", "--port", "0", "--only", "iterPower-6.00x",
+             "--jobs", "1"]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "executor=process" in out
+        assert "priming skipped" in out  # parent prime deferred
+        assert "bye" in out
+
+
+class TestWarmPrimingConfiguration:
+    def test_prime_uses_the_serving_engine(self, monkeypatch):
+        # Regression: priming hardcoded cegismin, so a server with
+        # default_engine="enumerative" self-tested (and warmed) a
+        # configuration no request would ever hit.
+        used = []
+        real = warm_mod.engine_by_name
+
+        def spying(name):
+            used.append(name)
+            return real(name)
+
+        monkeypatch.setattr(warm_mod, "engine_by_name", spying)
+        problem = get_problem("iterPower-6.00x")
+        warm = warm_mod.warm_problem(problem, engine="enumerative")
+        assert warm.primed
+        assert used == ["enumerative"]
+
+    def test_prime_pins_the_explorer_ablation(self, monkeypatch):
+        captured = {}
+        real = warm_mod.generate_feedback
+
+        def spying(source, spec, model, **kwargs):
+            captured["explorer"] = kwargs["engine"].explorer
+            return real(source, spec, model, **kwargs)
+
+        monkeypatch.setattr(warm_mod, "generate_feedback", spying)
+        problem = get_problem("iterPower-6.00x")
+        warm_mod.warm_problem(problem, explorer=False)
+        assert captured["explorer"] is False
+
+    def test_warm_registry_threads_engine_through(self, monkeypatch):
+        used = []
+        real = warm_mod.engine_by_name
+
+        def spying(name):
+            used.append(name)
+            return real(name)
+
+        monkeypatch.setattr(warm_mod, "engine_by_name", spying)
+        warm_mod.warm_registry(
+            names=["iterPower-6.00x"], engine="enumerative"
+        )
+        assert used == ["enumerative"]

@@ -14,7 +14,7 @@ from repro.server import (
     ServerError,
     warm_registry,
 )
-from repro.server import service as service_mod
+from repro.service import workers as workers_mod
 
 PROBLEM = get_problem("iterPower-6.00x")
 
@@ -145,8 +145,12 @@ class TestBackpressure:
 
             return FeedbackReport(status="no_fix", problem=spec.name)
 
-        monkeypatch.setattr(service_mod, "generate_feedback", slow)
-        service = FeedbackService(warmup=warmup, jobs=1, queue_limit=0)
+        monkeypatch.setattr(workers_mod, "generate_feedback", slow)
+        # The fake grader lives in this process: pin the in-thread
+        # executor (a worker process would never see the monkeypatch).
+        service = FeedbackService(
+            warmup=warmup, jobs=1, queue_limit=0, executor="thread"
+        )
         server = FeedbackHTTPServer(service, port=0)
         server.serve_in_thread()
         try:

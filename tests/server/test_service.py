@@ -20,8 +20,8 @@ from repro.server import (
     UnknownProblem,
     warm_registry,
 )
-from repro.server import service as service_mod
 from repro.service import ResultCache
+from repro.service import workers as workers_mod
 
 PROBLEM = get_problem("iterPower-6.00x")
 
@@ -61,7 +61,14 @@ def make_service(warmup, **kwargs):
 
 
 class _BlockingGrader:
-    """Replaces ``generate_feedback`` with a gate the test controls."""
+    """Replaces ``generate_feedback`` with a gate the test controls.
+
+    Patches ``workers.generate_feedback`` — the seam under
+    ``grade_record``, which both executors run. Services under a fake
+    grader must still pin ``executor="thread"``: the patched function
+    lives in this process, so a process executor's worker would grade
+    for real and never touch the gate.
+    """
 
     def __init__(self, monkeypatch):
         self.release = threading.Event()
@@ -76,7 +83,7 @@ class _BlockingGrader:
 
             return FeedbackReport(status="no_fix", problem=spec.name)
 
-        monkeypatch.setattr(service_mod, "generate_feedback", fake)
+        monkeypatch.setattr(workers_mod, "generate_feedback", fake)
 
 
 class TestGrading:
@@ -117,8 +124,8 @@ class TestGrading:
         def boom(*args, **kwargs):
             raise RuntimeError("engine exploded")
 
-        monkeypatch.setattr(service_mod, "generate_feedback", boom)
-        service = make_service(warmup)
+        monkeypatch.setattr(workers_mod, "generate_feedback", boom)
+        service = make_service(warmup, executor="thread")
         outcome = service.grade("iterPower-6.00x", BUGGY)
         assert outcome.record["status"] == "error"
         assert "engine exploded" in outcome.record["detail"]
@@ -155,7 +162,7 @@ class TestInFlightDedup:
         self, warmup, monkeypatch
     ):
         grader = _BlockingGrader(monkeypatch)
-        service = make_service(warmup, jobs=2)
+        service = make_service(warmup, jobs=2, executor="thread")
         inflight = _SignalingInflight()
         service._inflight = inflight
         with ThreadPoolExecutor(max_workers=2) as pool:
@@ -177,7 +184,7 @@ class TestInFlightDedup:
 
     def test_different_submissions_do_not_dedup(self, warmup, monkeypatch):
         grader = _BlockingGrader(monkeypatch)
-        service = make_service(warmup, jobs=2)
+        service = make_service(warmup, jobs=2, executor="thread")
         with ThreadPoolExecutor(max_workers=2) as pool:
             a = pool.submit(service.grade, "iterPower-6.00x", BUGGY)
             b = pool.submit(service.grade, "iterPower-6.00x", CORRECT)
@@ -191,7 +198,7 @@ class TestInFlightDedup:
 class TestAdmission:
     def test_queue_full_rejects_with_retry_hint(self, warmup, monkeypatch):
         grader = _BlockingGrader(monkeypatch)
-        service = make_service(warmup, jobs=1, queue_limit=0)
+        service = make_service(warmup, jobs=1, queue_limit=0, executor="thread")
         with ThreadPoolExecutor(max_workers=1) as pool:
             running = pool.submit(service.grade, "iterPower-6.00x", BUGGY)
             assert grader.entered.acquire(timeout=10)
@@ -208,7 +215,7 @@ class TestAdmission:
         self, warmup, monkeypatch
     ):
         grader = _BlockingGrader(monkeypatch)
-        service = make_service(warmup, jobs=1, queue_limit=2)
+        service = make_service(warmup, jobs=1, queue_limit=2, executor="thread")
         with ThreadPoolExecutor(max_workers=2) as pool:
             first = pool.submit(service.grade, "iterPower-6.00x", BUGGY)
             assert grader.entered.acquire(timeout=10)
@@ -225,7 +232,7 @@ class TestAdmission:
 class TestShutdown:
     def test_close_drains_inflight_gradings(self, warmup, monkeypatch):
         grader = _BlockingGrader(monkeypatch)
-        service = make_service(warmup, jobs=1)
+        service = make_service(warmup, jobs=1, executor="thread")
         with ThreadPoolExecutor(max_workers=2) as pool:
             inflight = pool.submit(service.grade, "iterPower-6.00x", BUGGY)
             assert grader.entered.acquire(timeout=10)

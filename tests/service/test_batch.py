@@ -123,6 +123,56 @@ class TestBatchRunner:
         assert [r.sid for r in parallel] == [r.sid for r in serial]
 
 
+class TestEngineInstanceCacheKeys:
+    def test_differently_configured_engines_do_not_share_entries(self):
+        # Regression: keys used to be derived from type(engine).__name__,
+        # so CegisMinEngine(max_cost=0) and CegisMinEngine() shared cache
+        # entries — the tight budget's no_fix was replayed verbatim to
+        # the generous run.
+        cache = ResultCache()
+        tight = BatchRunner(
+            PROBLEM,
+            jobs=1,
+            timeout_s=20,
+            engine=CegisMinEngine(max_cost=0),
+            cache=cache,
+        )
+        assert tight.run([ITEMS[0]])[0].report.status == "no_fix"
+        generous = BatchRunner(
+            PROBLEM,
+            jobs=1,
+            timeout_s=20,
+            engine=CegisMinEngine(),
+            cache=cache,
+        )
+        results = generous.run([ITEMS[0]])
+        assert results[0].report.status == "fixed"
+        assert not results[0].cached  # the no_fix entry was never offered
+        assert generous.stats.cache_hits == 0
+
+    def test_config_label_distinguishes_and_defaults_collapse(self):
+        cache = ResultCache()
+        by_instance = BatchRunner(
+            PROBLEM, jobs=1, timeout_s=20, engine=CegisMinEngine(), cache=cache
+        )
+        by_name = BatchRunner(
+            PROBLEM, jobs=1, timeout_s=20, engine="cegismin", cache=cache
+        )
+        # A default-constructed instance is the named configuration: the
+        # two runners must share entries...
+        assert by_instance._key_prefix == by_name._key_prefix
+        # ...while any non-default parameter forks the address.
+        tight = BatchRunner(
+            PROBLEM,
+            jobs=1,
+            timeout_s=20,
+            engine=CegisMinEngine(max_cost=1),
+            cache=cache,
+        )
+        assert tight._key_prefix != by_name._key_prefix
+        assert "max_cost=1" in tight._key_prefix
+
+
 class TestJobStoreResume:
     def test_resume_skips_completed(self, tmp_path):
         store = JobStore(tmp_path / "results.jsonl")
@@ -313,17 +363,17 @@ class TestErrorRecords:
         assert store.load() == {}
 
     def test_worker_grade_exception_becomes_error_record(self, monkeypatch):
-        from repro.service import runner as runner_mod
+        from repro.service import workers as workers_mod
 
-        runner_mod._worker_init(
+        workers_mod.worker_init(
             PROBLEM.spec, PROBLEM.model, "cegismin", 20.0, "compiled", True
         )
         monkeypatch.setattr(
-            runner_mod,
+            workers_mod,
             "generate_feedback",
             lambda *a, **k: (_ for _ in ()).throw(ValueError("worker boom")),
         )
-        record = runner_mod._worker_grade(BUGGY)
+        record = workers_mod.worker_grade(BUGGY)
         assert record["status"] == "error"
         assert "worker boom" in record["detail"]
 
