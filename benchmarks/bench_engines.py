@@ -56,6 +56,22 @@ class TestEngineComparison:
         result = benchmark.pedantic(solve, rounds=1, iterations=1)
         benchmark.extra_info["cost"] = result.cost
         benchmark.extra_info["candidates"] = candidate_count(tilde)
+        # The engine-depth telemetry the obs layer exports as
+        # ``repro_*_total`` counters — recorded here so the benchmark
+        # artifact explains *where* the wall time went, not just how
+        # much there was.
+        for key in (
+            "sat_calls",
+            "sat_conflicts",
+            "sat_decisions",
+            "sat_propagations",
+            "table_leaves",
+            "forker_runs",
+            "candidate_runs",
+            "fuel_consumed",
+        ):
+            if key in result.stats:
+                benchmark.extra_info[key] = result.stats[key]
         assert result.status == "fixed"
 
     def test_enumerative_baseline(self, benchmark, workload):

@@ -203,10 +203,105 @@ def test_zipf_resubmission_throughput(served, submissions):
         "req_per_s": requests / elapsed,
         "cache_hit_ratio": hits / requests,
     }
+    # The telemetry histograms have now seen every request of the cold/
+    # warm/zipf sections: publish the server's own latency percentiles
+    # (p50/p95/p99 per outcome, per problem, per stage) alongside the
+    # client-side timings above.
+    _RESULTS["latency"] = after["latency"]
     assert requests == ZIPF_REQUESTS
     # The warm-miss test already graded every submission, so this stream
     # is pure cache traffic: the hit ratio must be total.
     assert hits == ZIPF_REQUESTS
+
+
+def test_obs_overhead_contract(served, submissions):
+    """CI contract: telemetry costs ≤ 3% of zipf throughput.
+
+    The same zipf-shaped stream as above (pure cache hits — the path
+    where fixed per-request telemetry cost is the largest *fraction* of
+    the work), alternating obs-on and obs-off runs over the live HTTP
+    server. Client and server threads live in this one process and the
+    work is CPU-bound, so the modes are compared on best-of-``repeats``
+    **CPU** throughput — wall clock on a shared runner is a scheduling
+    lottery that swamps a 3% bar; CPU seconds charge exactly the code
+    under test.
+    """
+    from repro.obs.config import using_obs
+
+    _, client = served
+    sources, _ = submissions
+    rng = random.Random(11)
+    weights = [1.0 / (rank + 1) ** 1.2 for rank in range(len(sources))]
+    # A longer stream than the throughput section: the contract divides
+    # two timings of the same work, so per-run noise must be small
+    # relative to a 3% bar.
+    stream = rng.choices(sources, weights=weights, k=4 * ZIPF_REQUESTS)
+
+    def run() -> float:
+        start = time.process_time()
+        for source in stream:
+            client.grade(PROBLEM_NAME, source, timeout_s=TIMEOUT_S)
+        return time.process_time() - start
+
+    run()  # one untimed pass so both modes start equally warm
+    # GC pauses land asymmetrically across short runs and would swamp a
+    # 3% bar (same reason the CI bench steps pass --benchmark-disable-gc)
+    # — the *allocation* cost of telemetry still counts, collection is
+    # deferred to after the measurement.
+    import gc
+
+    signals = []
+    noises = []
+    on_cpu = []
+    off_cpu = []
+    gc.collect()
+    gc.disable()
+    try:
+        for _ in range(7):
+            # Each round is an off/on/off sandwich: the two off runs
+            # bracket the on run (cancelling linear drift) *and* their
+            # disagreement measures what the runner's noise floor is —
+            # the only way to tell a 2% telemetry cost from a 5% noise
+            # burst on a shared box.
+            with using_obs(False):
+                off_before = run()
+            with using_obs(True):
+                on = run()
+            with using_obs(False):
+                off_after = run()
+            signals.append(2.0 * on / (off_before + off_after))
+            noises.append(abs(off_before / off_after - 1.0))
+            on_cpu.append(on)
+            off_cpu.extend((off_before, off_after))
+    finally:
+        gc.enable()
+    overhead = statistics.median(signals) - 1.0
+    noise = statistics.median(noises)
+    requests = len(stream)
+    rate_on = requests / statistics.median(on_cpu)
+    rate_off = requests / statistics.median(off_cpu)
+    _RESULTS["obs_overhead"] = {
+        "cpu_req_per_s_obs_on": rate_on,
+        "cpu_req_per_s_obs_off": rate_off,
+        "overhead_fraction": overhead,
+        "noise_floor_fraction": noise,
+    }
+    print(
+        f"\nobs overhead on zipf cache hits: {overhead * 100:.2f}% "
+        f"({rate_on:.0f} vs {rate_off:.0f} req/s; "
+        f"noise floor {noise * 100:.2f}%)"
+    )
+    if noise > 0.015:
+        pytest.skip(
+            f"runner too noisy to resolve a 3% bar: identical obs-off "
+            f"runs disagree by {noise * 100:.1f}% (median of 7 rounds); "
+            f"measured overhead {overhead * 100:.2f}% recorded in "
+            f"BENCH_serve.json"
+        )
+    assert overhead <= 0.03, (
+        f"telemetry costs {overhead * 100:.1f}% of zipf throughput "
+        f"({rate_on:.0f} req/s on vs {rate_off:.0f} req/s off)"
+    )
 
 
 def _cache_miss_throughput(executor: str, sources) -> dict:

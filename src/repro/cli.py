@@ -29,6 +29,7 @@ from repro.core import generate_feedback, grade_submission
 from repro.core.feedback import FeedbackLevel
 from repro.engines import CegisMinEngine, EnumerativeEngine
 from repro.explore import set_default_explorer
+from repro.obs import set_default_obs, set_default_slow_ms
 from repro.problems import all_problems, get_problem
 
 
@@ -183,6 +184,17 @@ def cmd_serve(args: argparse.Namespace) -> int:
         raise SystemExit("--queue must be >= 0")
     if args.workers is not None and args.workers < 1:
         raise SystemExit("--workers must be >= 1")
+    if args.slow_ms is not None:
+        if args.slow_ms <= 0:
+            raise SystemExit("--slow-ms must be > 0")
+        # Process-wide default: worker forks inherit it, and the service
+        # needs no extra plumbing for the event threshold.
+        set_default_slow_ms(args.slow_ms)
+    # The daemon wants its structured events on stderr (one JSON line per
+    # grading; slow ones at WARNING).
+    from repro.obs.events import attach_stderr_handler
+
+    attach_stderr_handler()
     # Flag > environment > core-count default (resolve_executor alone
     # would fall back to "thread", the library default — the daemon's
     # default is the multi-core-aware one).
@@ -279,6 +291,17 @@ def main(argv: Optional[list] = None) -> int:
             "whole failing regions per counterexample; 'off' is the "
             "per-candidate-sweep ablation; also settable via "
             "REPRO_EXPLORER"
+        ),
+    )
+    parser.add_argument(
+        "--obs",
+        default=None,
+        choices=["on", "off"],
+        help=(
+            "observability: 'on' (default) records metrics, traces and "
+            "events; 'off' disables every registry write and strips the "
+            "record 'metrics' key (the overhead ablation); also settable "
+            "via REPRO_OBS"
         ),
     )
     sub = parser.add_subparsers(dest="command", required=True)
@@ -398,6 +421,13 @@ def main(argv: Optional[list] = None) -> int:
     serve.add_argument(
         "--verbose", action="store_true", help="log every HTTP request"
     )
+    serve.add_argument(
+        "--slow-ms",
+        type=float,
+        default=None,
+        help="log gradings slower than this many ms at WARNING with "
+        '"slow": true (default 1000; also settable via REPRO_SLOW_MS)',
+    )
 
     table1 = sub.add_parser("table1", help="run the Table 1 experiment")
     table1.add_argument("--corpus-size", type=int, default=24)
@@ -418,6 +448,9 @@ def main(argv: Optional[list] = None) -> int:
     if args.explorer is not None:
         # Same pattern for the exploration-table ablation knob.
         set_default_explorer(args.explorer)
+    if args.obs is not None:
+        # And for the telemetry knob — batch/serve workers inherit it.
+        set_default_obs(args.obs)
     handlers = {
         "problems": cmd_problems,
         "grade": cmd_grade,

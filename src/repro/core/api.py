@@ -30,6 +30,7 @@ from repro.engines.cegismin import CegisMinEngine
 from repro.engines.verify import BoundedVerifier, outcome_of
 from repro.mpy import parse_program, to_source
 from repro.mpy.errors import FrontendError, MPYRuntimeError, UnsupportedFeature
+from repro.obs import StageTimer, resolve_obs
 from repro.tilde.nodes import instantiate
 
 # Report statuses (the paper's test-set categories).
@@ -55,6 +56,9 @@ class FeedbackReport:
     wall_time: float = 0.0
     engine_result: Optional[EngineResult] = None
     detail: str = ""
+    #: Telemetry (observability on only): ``{"stages": {...}, "engine":
+    #: {...}}`` — grading-side stage timings plus engine-depth counters.
+    metrics: Optional[dict] = None
 
     @property
     def fixed(self) -> bool:
@@ -155,21 +159,44 @@ def generate_feedback(
     """
     start = time.monotonic()
     engine = engine or CegisMinEngine()
+    timer = StageTimer() if resolve_obs(None) else None
+    stage_started = start
+
+    def book(stage: str) -> None:
+        # Close the open interval under ``stage``; no-op with obs off.
+        nonlocal stage_started
+        now = time.monotonic()
+        if timer is not None:
+            timer.add(stage, now - stage_started)
+        stage_started = now
 
     def report(status: str, **kwargs) -> FeedbackReport:
-        return FeedbackReport(
+        rep = FeedbackReport(
             status=status,
             problem=spec.name,
             wall_time=time.monotonic() - start,
             **kwargs,
         )
+        if timer is not None:
+            rep.metrics = {"stages": timer.rounded()}
+            if rep.engine_result is not None:
+                rep.metrics["engine"] = _engine_metrics(rep.engine_result)
+        return rep
 
+    parse_error: Optional[Exception] = None
+    module = None
     try:
         module = parse_program(source)
-    except UnsupportedFeature as exc:
-        return report(UNSUPPORTED, detail=str(exc))
-    except FrontendError as exc:
-        return report(SYNTAX_ERROR, detail=str(exc))
+    except (UnsupportedFeature, FrontendError) as exc:
+        parse_error = exc
+    book("parse")
+    if parse_error is not None:
+        status = (
+            UNSUPPORTED
+            if isinstance(parse_error, UnsupportedFeature)
+            else SYNTAX_ERROR
+        )
+        return report(status, detail=str(parse_error))
 
     if verifier is None:
         # The process-wide cache only holds default-substrate verifiers;
@@ -184,11 +211,14 @@ def generate_feedback(
     try:
         tilde, registry = rewrite_submission(module, spec, model)
     except SignatureError as exc:
+        book("rewrite")
         return report(BAD_SIGNATURE, detail=str(exc))
+    book("rewrite")
 
     result = engine.solve(
         tilde, registry, spec, verifier, timeout_s=timeout_s, backend=backend
     )
+    book("solve")
 
     if result.status == "fixed":
         assignment = result.assignment or {}
@@ -197,12 +227,14 @@ def generate_feedback(
         generator = FeedbackGenerator(registry, model)
         items = generator.items(assignment)
         fixed_module = instantiate(tilde, assignment)
+        fixed_source = to_source(fixed_module)
+        book("render")
         return report(
             FIXED,
             items=items,
             cost=result.cost,
             minimal=result.minimal,
-            fixed_source=to_source(fixed_module),
+            fixed_source=fixed_source,
             engine_result=result,
         )
     if result.status == "no_fix":
@@ -210,3 +242,15 @@ def generate_feedback(
     if result.status in ("timeout", "exhausted"):
         return report(TIMEOUT, engine_result=result)
     return report(NO_FIX, engine_result=result, detail=result.status)
+
+
+def _engine_metrics(result: EngineResult) -> dict:
+    """The JSON-safe engine-depth summary carried in ``report.metrics``."""
+    out = {
+        "iterations": result.iterations,
+        "counterexamples": result.counterexamples,
+    }
+    for key, value in result.stats.items():
+        if isinstance(value, (int, float, str, bool)):
+            out[key] = value
+    return out

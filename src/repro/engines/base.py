@@ -118,27 +118,42 @@ class CandidateSpace:
             else None
         )
         self._forker: Optional[PathForker] = None
+        #: Telemetry: direct candidate executions through :meth:`run` and
+        #: the fuel they burned (forker runs are counted by the tables).
+        self.run_count = 0
+        self.fuel_consumed = 0
 
     # -- per-candidate execution --------------------------------------------
 
     def run(self, assignment: Dict[int, int], args: tuple):
         """Run one candidate on one input; the cube record covers the
         whole run (top-level re-execution included)."""
-        if self._program is not None:
-            return self._program.run_recorded(
-                self.function, args, assignment
+        self.run_count += 1
+        try:
+            if self._program is not None:
+                return self._program.run_recorded(
+                    self.function, args, assignment
+                )
+            if self.stateful or self._interp is None:
+                # Two-phase construction: __init__ executes the module top
+                # level and can raise; installing the instance first keeps
+                # its partial touch record readable through cube() (callers
+                # treat the raise as this run's error outcome and then read
+                # the failing path's cube).
+                interp = RecordingInterpreter.__new__(RecordingInterpreter)
+                self._interp = interp
+                interp.__init__(self.tilde, assignment, fuel=self.fuel)
+                return interp.call(self.function, args)
+            return self._interp.run(
+                self.function, args, assignment=assignment
             )
-        if self.stateful or self._interp is None:
-            # Two-phase construction: __init__ executes the module top
-            # level and can raise; installing the instance first keeps
-            # its partial touch record readable through cube() (callers
-            # treat the raise as this run's error outcome and then read
-            # the failing path's cube).
-            interp = RecordingInterpreter.__new__(RecordingInterpreter)
-            self._interp = interp
-            interp.__init__(self.tilde, assignment, fuel=self.fuel)
-            return interp.call(self.function, args)
-        return self._interp.run(self.function, args, assignment=assignment)
+        finally:
+            executor = (
+                self._program if self._program is not None else self._interp
+            )
+            remaining = getattr(executor, "fuel", None)
+            if isinstance(remaining, int):
+                self.fuel_consumed += self.fuel - max(0, remaining)
 
     def cube(self) -> Dict[int, int]:
         """The holes the last :meth:`run` read, insertion-ordered."""

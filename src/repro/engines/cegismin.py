@@ -123,7 +123,7 @@ class CegisMinEngine(Engine):
         blocked_keys: Set[frozenset] = set()
         #: SAT statistics of solvers discarded by non-incremental rebuilds;
         #: reported totals are base + the live solver (whole-run numbers).
-        sat_base = {"conflicts": 0, "decisions": 0}
+        sat_base = {key: 0 for key in solver.stats}
 
         cex_cache: List[tuple] = list(verifier.seed_inputs(self.seed_inputs))
         best: Optional[Dict[int, int]] = None
@@ -131,6 +131,7 @@ class CegisMinEngine(Engine):
         iterations = 0
         sat_calls = 0
         table_leaves = 0
+        forker_runs = 0
 
         def result(status: str, minimal: bool) -> EngineResult:
             return EngineResult(
@@ -145,10 +146,19 @@ class CegisMinEngine(Engine):
                     "sat_calls": sat_calls,
                     "blocked_cubes": len(blocked),
                     "table_leaves": table_leaves,
+                    "forker_runs": forker_runs,
+                    "candidate_runs": space.run_count,
+                    "fuel_consumed": space.fuel_consumed,
                     "sat_conflicts": sat_base["conflicts"]
                     + solver.stats["conflicts"],
                     "sat_decisions": sat_base["decisions"]
                     + solver.stats["decisions"],
+                    "sat_propagations": sat_base["propagations"]
+                    + solver.stats["propagations"],
+                    "sat_learned": sat_base["learned"]
+                    + solver.stats["learned"],
+                    "sat_restarts": sat_base["restarts"]
+                    + solver.stats["restarts"],
                     "engine": self.name,
                     "incremental": self.incremental,
                     "explorer": explorer,
@@ -170,7 +180,7 @@ class CegisMinEngine(Engine):
             region on ``args`` — the whole region is refuted in this one
             SAT round. Explorer off: just the failing run's own cube.
             """
-            nonlocal table_leaves
+            nonlocal table_leaves, forker_runs
             if not explorer:
                 # The failing run is the space's last execution at both
                 # call sites (the inductive loop breaks on it; the full
@@ -182,6 +192,7 @@ class CegisMinEngine(Engine):
                 args, assignment, deadline=deadline
             )
             table_leaves += len(table)
+            forker_runs += table.runs
             _, failing = verifier.table_verdict(table)
             for leaf in failing:
                 block(leaf.cube)

@@ -172,6 +172,8 @@ class EnumerativeEngine(Engine):
         candidates = 0
         full_verifications = 0
         table_leaves = 0
+        table_hits = 0
+        forker_runs = 0
 
         def result(status, assignment=None, cost=None) -> EngineResult:
             return EngineResult(
@@ -188,13 +190,17 @@ class EnumerativeEngine(Engine):
                     "full_verifications": full_verifications,
                     "tables": sum(1 for t in tables if t is not None),
                     "table_leaves": table_leaves,
+                    "table_hits": table_hits,
+                    "forker_runs": forker_runs,
+                    "candidate_runs": space.run_count,
+                    "fuel_consumed": space.fuel_consumed,
                     "explorer": explorer,
                 },
             )
 
         def table_for(args: tuple) -> Optional[ExplorationTable]:
             """Explore ``args`` up to the cost bound; None when off/huge."""
-            nonlocal table_leaves
+            nonlocal table_leaves, forker_runs
             if not explorer:
                 return None
             try:
@@ -207,6 +213,7 @@ class EnumerativeEngine(Engine):
             except ExplorationLimit:
                 return None
             table_leaves += len(table)
+            forker_runs += table.runs
             return table
 
         def rejected_by(index: int, assignment: Dict[int, int]) -> bool:
@@ -214,11 +221,13 @@ class EnumerativeEngine(Engine):
 
             A trie walk when the input is tabled; a real run otherwise.
             """
+            nonlocal table_hits
             expected = expected_cache[index]
             table = tables[index]
             if table is not None:
                 outcome = table.lookup(assignment)
                 if outcome is not None:
+                    table_hits += 1
                     return not outcomes_match(expected, outcome)
             return not outcomes_match(
                 expected, space.outcome(assignment, cex_cache[index])

@@ -1,0 +1,79 @@
+"""Prometheus text exposition (format version 0.0.4) from a snapshot.
+
+One function, :func:`render`: a :meth:`~repro.obs.registry.
+MetricsRegistry.snapshot` in, the ``GET /metrics`` body out. Histograms
+expand to the conventional ``_bucket{le=...}`` cumulative series plus
+``_sum``/``_count``; label values are escaped per the exposition format
+(backslash, double-quote, newline).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def _escape(value: str) -> str:
+    return (
+        value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+    )
+
+
+def _labels(names: Tuple[str, ...], values: Tuple[str, ...], extra: str = "") -> str:
+    pairs = [
+        f'{name}="{_escape(value)}"' for name, value in zip(names, values)
+    ]
+    if extra:
+        pairs.append(extra)
+    return "{" + ",".join(pairs) + "}" if pairs else ""
+
+
+def _number(value: float) -> str:
+    # Integral values render without a trailing .0 — counters look like
+    # counts, and the output is stable across int/float histories.
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value)
+
+
+def render(snapshot: dict) -> str:
+    """The exposition-format text for one registry snapshot."""
+    lines: List[str] = []
+    for name in sorted(snapshot):
+        entry = snapshot[name]
+        kind = entry.get("kind", "untyped")
+        labelnames = tuple(entry.get("labelnames", ()))
+        if entry.get("help"):
+            lines.append(f"# HELP {name} {_escape(entry['help'])}")
+        lines.append(f"# TYPE {name} {kind}")
+        values = entry.get("values", {})
+        if kind in ("counter", "gauge"):
+            for key in sorted(values):
+                lines.append(
+                    f"{name}{_labels(labelnames, tuple(key))} "
+                    f"{_number(values[key])}"
+                )
+            continue
+        # Histogram: cumulative le-buckets, then sum and count.
+        bounds = entry.get("buckets", ())
+        for key in sorted(values):
+            cell = values[key]
+            cumulative = 0
+            for bound, count in zip(bounds, cell["counts"]):
+                cumulative += count
+                le = 'le="' + _number(float(bound)) + '"'
+                labels = _labels(labelnames, tuple(key), le)
+                lines.append(f"{name}_bucket{labels} {cumulative}")
+            cumulative += cell["counts"][len(bounds)]
+            labels = _labels(labelnames, tuple(key), 'le="+Inf"')
+            lines.append(f"{name}_bucket{labels} {cumulative}")
+            lines.append(
+                f"{name}_sum{_labels(labelnames, tuple(key))} "
+                f"{_number(cell['sum'])}"
+            )
+            lines.append(
+                f"{name}_count{_labels(labelnames, tuple(key))} "
+                f"{cell['count']}"
+            )
+    return "\n".join(lines) + ("\n" if lines else "")

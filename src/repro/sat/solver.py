@@ -70,6 +70,7 @@ class Solver:
         self.decay = decay
         self.var_inc = 1.0
         self.stats = {
+            "calls": 0,
             "decisions": 0,
             "propagations": 0,
             "conflicts": 0,
@@ -307,6 +308,7 @@ class Solver:
         On SAT, :meth:`model_value` reads the satisfying assignment (valid
         until the next :meth:`add_clause` or :meth:`solve` call).
         """
+        self.stats["calls"] += 1
         if self._unsat:
             return UNSAT
         self._cancel_until(0)

@@ -20,8 +20,13 @@ the entire pipeline — so a request never recompiles anything.
   recycling of crashed or wedged workers);
 - :mod:`repro.server.http` — stdlib ``ThreadingHTTPServer`` JSON facade
   (``POST /grade``, ``GET /problems``, ``GET /healthz``, ``GET
-  /stats``);
+  /stats``, ``GET /metrics`` Prometheus exposition, ``X-Request-Id``
+  propagation);
 - :mod:`repro.server.client` — stdlib client used by benchmarks and CI.
+
+Telemetry (see :mod:`repro.obs`) is cross-layer: every grading is traced
+per stage, worker processes ship metric deltas back with each result,
+and the parent's registry — scraped at ``/metrics`` — covers the fleet.
 
 Start it with ``repro-feedback serve --port 8321 --jobs 4`` (or
 ``python -m repro.server``); ``--executor process --workers 4`` is the

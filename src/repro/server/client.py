@@ -12,7 +12,9 @@ from __future__ import annotations
 import http.client
 import json
 import socket
-from typing import Optional
+from typing import Optional, Union
+
+from repro.obs import new_request_id
 
 class _DeadBeforeSend(http.client.RemoteDisconnected):
     """The request bytes never (fully) reached the server — the socket
@@ -90,16 +92,21 @@ class FeedbackClient:
         return self._conn
 
     def _request(
-        self, method: str, path: str, body: Optional[dict] = None
-    ) -> dict:
-        headers = {}
+        self,
+        method: str,
+        path: str,
+        body: Optional[dict] = None,
+        extra_headers: Optional[dict] = None,
+        raw: bool = False,
+    ) -> Union[dict, str]:
+        headers = dict(extra_headers or {})
         encoded = None
         if body is not None:
             encoded = json.dumps(body).encode("utf-8")
             headers["Content-Type"] = "application/json"
         reused = self._conn is not None and self._conn_used
         try:
-            return self._send(method, path, encoded, headers)
+            return self._send(method, path, encoded, headers, raw)
         except socket.timeout:
             # Deliberately NOT retried: a timed-out POST /grade may still
             # be solving server-side — resending would double-submit
@@ -117,20 +124,25 @@ class FeedbackClient:
             # without sending a response byte — the request died with the
             # socket and was never processed; resend once, fresh.
             self.close()
-            return self._send(method, path, encoded, headers)
+            return self._send(method, path, encoded, headers, raw)
         except (OSError, http.client.HTTPException):
             self.close()
             raise
 
-    def _send(self, method: str, path: str, encoded, headers) -> dict:
+    def _send(
+        self, method: str, path: str, encoded, headers, raw: bool = False
+    ) -> Union[dict, str]:
         conn = self._connection()
         try:
             conn.request(method, path, body=encoded, headers=headers)
         except (BrokenPipeError, ConnectionResetError) as exc:
             raise _DeadBeforeSend(str(exc)) from exc
         response = conn.getresponse()
-        payload = json.loads(response.read() or b"{}")
+        data = response.read()
         self._conn_used = True  # a whole response arrived: truly kept alive
+        if raw and response.status == 200:
+            return data.decode("utf-8")
+        payload = json.loads(data or b"{}")
         if response.status != 200:
             raise ServerError(
                 response.status,
@@ -153,13 +165,23 @@ class FeedbackClient:
         source: str,
         engine: Optional[str] = None,
         timeout_s: Optional[float] = None,
+        request_id: Optional[str] = None,
     ) -> dict:
+        """Grade one submission. The request travels with an
+        ``X-Request-Id`` (generated here unless supplied) that the server
+        propagates through service and worker and echoes back in the
+        response — one id to grep across client and server logs."""
         body = {"problem": problem, "source": source}
         if engine is not None:
             body["engine"] = engine
         if timeout_s is not None:
             body["timeout_s"] = timeout_s
-        return self._request("POST", "/grade", body)
+        return self._request(
+            "POST",
+            "/grade",
+            body,
+            extra_headers={"X-Request-Id": request_id or new_request_id()},
+        )
 
     def problems(self) -> list:
         return self._request("GET", "/problems")["problems"]
@@ -169,3 +191,7 @@ class FeedbackClient:
 
     def stats(self) -> dict:
         return self._request("GET", "/stats")
+
+    def metrics(self) -> str:
+        """The raw ``GET /metrics`` Prometheus exposition text."""
+        return self._request("GET", "/metrics", raw=True)

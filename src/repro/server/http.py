@@ -7,15 +7,21 @@ never needs its own concurrency story. Endpoints:
 
 - ``POST /grade`` — body ``{"problem": ..., "source": ..., "engine"?,
   "timeout_s"?}``; responds ``{"record": ..., "key": ..., "cached":
-  ..., "deduped": ..., "wall_time": ...}``;
+  ..., "deduped": ..., "wall_time": ..., "request_id": ...}``;
 - ``GET /problems`` — the warm-problem table;
-- ``GET /healthz`` — liveness (``ok`` / ``draining``);
-- ``GET /stats`` — counters, queue depth, cache statistics, and the
-  grading-executor view (kind, worker count, shard assignments,
-  recycle count).
+- ``GET /healthz`` — liveness (``ok`` / ``draining``) and worker-pool
+  readiness in process-executor mode;
+- ``GET /stats`` — counters, queue depth, cache statistics, latency
+  percentiles, and the grading-executor view (kind, worker count,
+  shard assignments, recycle count);
+- ``GET /metrics`` — Prometheus text exposition of the whole fleet
+  (worker-process metrics merged into the parent registry).
 
-Errors are JSON too: 400 malformed request, 404 unknown problem or
-path, 429 queue full (with a ``Retry-After`` header), 503 draining.
+Request tracing: an inbound ``X-Request-Id`` header is propagated to
+the service (and on to the grading worker) and echoed back on the
+response; absent one, the service generates an id. Errors are JSON
+too: 400 malformed request, 404 unknown problem or path, 429 queue
+full (with a ``Retry-After`` header), 503 draining.
 """
 
 from __future__ import annotations
@@ -25,6 +31,7 @@ import threading
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 
+from repro.obs import CONTENT_TYPE as METRICS_CONTENT_TYPE
 from repro.server.service import (
     FeedbackService,
     QueueFull,
@@ -102,6 +109,13 @@ class FeedbackRequestHandler(BaseHTTPRequestHandler):
             self._send_json(200, {"problems": self.service.problems_info()})
         elif path == "/stats":
             self._send_json(200, self.service.stats())
+        elif path == "/metrics":
+            body = self.service.metrics_text().encode("utf-8")
+            self.send_response(200)
+            self.send_header("Content-Type", METRICS_CONTENT_TYPE)
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
         else:
             self._error(404, f"unknown path {path!r}")
 
@@ -117,8 +131,9 @@ class FeedbackRequestHandler(BaseHTTPRequestHandler):
         except ValueError as exc:
             self._error(400, str(exc), close=True)
             return
+        request_id = self.headers.get("X-Request-Id") or None
         try:
-            outcome = self.service.grade(**request)
+            outcome = self.service.grade(request_id=request_id, **request)
         except UnknownProblem as exc:
             known = sorted(self.service.warmup.problems)
             self._error(404, f"unknown problem {exc.args[0]!r}", known=known)
@@ -137,6 +152,11 @@ class FeedbackRequestHandler(BaseHTTPRequestHandler):
         except ServiceClosed:
             self._error(503, "server is draining")
         else:
+            headers = (
+                (("X-Request-Id", outcome.request_id),)
+                if outcome.request_id
+                else None
+            )
             self._send_json(
                 200,
                 {
@@ -145,7 +165,9 @@ class FeedbackRequestHandler(BaseHTTPRequestHandler):
                     "cached": outcome.cached,
                     "deduped": outcome.deduped,
                     "wall_time": round(outcome.wall_time, 4),
+                    "request_id": outcome.request_id,
                 },
+                headers=headers,
             )
 
     def _read_request(self) -> dict:

@@ -44,6 +44,14 @@ from concurrent.futures import Future
 from repro.compile import resolve_backend
 from repro.engines import ENGINES
 from repro.explore import resolve_explorer
+from repro.obs import (
+    global_registry,
+    new_request_id,
+    render,
+    resolve_obs,
+    resolve_slow_ms,
+)
+from repro.obs.events import grading_event
 from repro.server.warm import Warmup, warm_registry
 from repro.service.cache import ResultCache, cache_key, engine_label
 from repro.service.canonical import canonicalize
@@ -88,6 +96,9 @@ class GradeOutcome:
     deduped: bool = False
     #: Request wall time as observed by the service (queue included).
     wall_time: float = 0.0
+    #: The id that traveled with this request (``X-Request-Id`` inbound,
+    #: generated here otherwise; empty with observability off).
+    request_id: str = ""
 
 
 class ThreadExecutor:
@@ -114,7 +125,12 @@ class ThreadExecutor:
         self._explorer = explorer
 
     def grade(
-        self, problem: str, source: str, engine_name: str, timeout_s: float
+        self,
+        problem: str,
+        source: str,
+        engine_name: str,
+        timeout_s: float,
+        request_id: str = "",
     ) -> dict:
         warm = self._warmup[problem]
         return grade_record(
@@ -133,6 +149,9 @@ class ThreadExecutor:
 
     def info(self) -> dict:
         return {"kind": self.kind}
+
+    def health(self) -> dict:
+        return {}
 
 
 class FeedbackService:
@@ -153,6 +172,7 @@ class FeedbackService:
         workers: Optional[int] = None,
         shard: bool = False,
         prime_workers: Optional[bool] = None,
+        slow_ms: Optional[float] = None,
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -192,6 +212,11 @@ class FeedbackService:
         # matches the grading mode.
         self.backend = resolve_backend(backend)
         self.explorer = resolve_explorer(explorer)
+        #: Slow-grading event threshold, resolved once at startup
+        #: (explicit argument, else ``REPRO_SLOW_MS`` / the process
+        #: default) — per-request event emission must not re-read the
+        #: environment.
+        self.slow_ms = resolve_slow_ms(slow_ms)
         self.workers = workers if workers is not None else jobs
         if self.executor == PROCESS:
             if prime_workers is None:
@@ -247,6 +272,10 @@ class FeedbackService:
         #: Exponential moving average of grading wall time, the basis of
         #: the 429 Retry-After hint.
         self._avg_grade_s = 0.5
+        #: Lazily-bound registry cells for the per-request hot path
+        #: (see :meth:`_obs_handles`). ``None`` until the first
+        #: telemetry-on request, so an obs-off process declares nothing.
+        self._obs_cache: Optional[dict] = None
 
     # -- public API ---------------------------------------------------------
 
@@ -256,9 +285,18 @@ class FeedbackService:
         source: str,
         engine: Optional[str] = None,
         timeout_s: Optional[float] = None,
+        request_id: Optional[str] = None,
     ) -> GradeOutcome:
-        """Grade one submission; safe to call from many threads."""
+        """Grade one submission; safe to call from many threads.
+
+        ``request_id`` is the caller-supplied trace id (the HTTP layer
+        forwards ``X-Request-Id``); one is generated when observability
+        is on and the caller sent none.
+        """
         started = time.monotonic()
+        obs_on = resolve_obs(None)
+        request_id = request_id or (new_request_id() if obs_on else "")
+        stages: Optional[Dict[str, float]] = {} if obs_on else None
         warm = self._warm(problem)
         engine_name = engine or self.default_engine
         if engine_name not in ENGINES:
@@ -273,6 +311,8 @@ class FeedbackService:
             engine=engine_label(engine_name, self.explorer),
             timeout_s=budget,
         )
+        if stages is not None:
+            stages["canonicalize"] = time.monotonic() - started
         with self._lock:
             if self._closed:
                 raise ServiceClosed("service is shutting down")
@@ -285,7 +325,8 @@ class FeedbackService:
             self._pending += 1
         try:
             return self._graded_outcome(
-                warm, source, engine_name, budget, key, started
+                warm, source, engine_name, budget, key, started,
+                request_id, stages,
             )
         finally:
             with self._idle:
@@ -293,16 +334,17 @@ class FeedbackService:
                 self._idle.notify_all()
 
     def _graded_outcome(
-        self, warm, source, engine_name, budget, key, started
+        self, warm, source, engine_name, budget, key, started,
+        request_id, stages,
     ) -> GradeOutcome:
+        lookup_started = time.monotonic()
         record = self.cache.get(key)
+        if stages is not None:
+            stages["cache_lookup"] = time.monotonic() - lookup_started
         if record is not None:
-            self._count_status(record, "cache_hits")
-            return GradeOutcome(
-                record=record,
-                key=key,
+            return self._finish(
+                "cache_hit", record, key, started, request_id, stages,
                 cached=True,
-                wall_time=time.monotonic() - started,
             )
 
         future: Future = Future()
@@ -312,16 +354,15 @@ class FeedbackService:
             # Follower: an identical submission is being graded right
             # now — await its record instead of solving it again.
             record = leader_future.result()
-            self._count_status(record, "dedup_hits")
-            return GradeOutcome(
-                record=record,
-                key=key,
+            return self._finish(
+                "dedup", record, key, started, request_id, stages,
                 deduped=True,
-                wall_time=time.monotonic() - started,
             )
 
         try:
-            record = self._admit_and_grade(warm, source, engine_name, budget)
+            record = self._admit_and_grade(
+                warm, source, engine_name, budget, request_id, stages
+            )
             # Cache before dropping the in-flight entry: an identical
             # submission arriving in between must find one or the other,
             # never a gap that re-grades.
@@ -340,9 +381,109 @@ class FeedbackService:
 
         if record["status"] != ERROR:
             self._maybe_persist()
-        self._count_status(record, "graded")
+        return self._finish(
+            "graded", record, key, started, request_id, stages
+        )
+
+    _OUTCOME_COUNTERS = {
+        "cache_hit": "cache_hits",
+        "dedup": "dedup_hits",
+        "graded": "graded",
+    }
+
+    def _obs_handles(self) -> dict:
+        """Bound registry cells for the per-request path, built lazily.
+
+        Resolving an instrument by name and a label set to its cell on
+        every request costs more than the actual count/observe; the
+        bound views skip both. Keyed to the registry identity so a
+        ``reset_global_registry()`` (tests) transparently rebinds.
+        """
+        registry = global_registry()
+        handles = self._obs_cache
+        if handles is None or handles["registry"] is not registry:
+            handles = self._obs_cache = {
+                "registry": registry,
+                "requests_total": registry.counter(
+                    "repro_requests_total",
+                    help="Requests served, by outcome",
+                    labelnames=("problem", "outcome"),
+                ),
+                "request_seconds": registry.histogram(
+                    "repro_request_seconds",
+                    help="Request wall time as observed by the service "
+                    "(queue wait included)",
+                    labelnames=("outcome",),
+                ),
+                "stage_seconds": registry.histogram(
+                    "repro_grading_stage_seconds",
+                    help="Per-stage latency of the grading pipeline",
+                    labelnames=("stage",),
+                ),
+                "request_cells": {},
+                "outcome_cells": {},
+                "stage_cells": {},
+            }
+        return handles
+
+    def _finish(
+        self, outcome, record, key, started, request_id, stages,
+        cached=False, deduped=False,
+    ) -> GradeOutcome:
+        """Count, observe and wrap one served request (every exit path)."""
+        wall_time = time.monotonic() - started
+        self._count_status(record, self._OUTCOME_COUNTERS[outcome])
+        if stages is not None:  # observability on
+            handles = self._obs_handles()
+            problem = record.get("problem", "")
+            cell = handles["request_cells"].get((problem, outcome))
+            if cell is None:
+                cell = handles["request_cells"][(problem, outcome)] = (
+                    handles["requests_total"].labels(
+                        problem=problem, outcome=outcome
+                    )
+                )
+            cell.inc()
+            seconds_cell = handles["outcome_cells"].get(outcome)
+            if seconds_cell is None:
+                seconds_cell = handles["outcome_cells"][outcome] = (
+                    handles["request_seconds"].labels(outcome=outcome)
+                )
+            seconds_cell.observe(wall_time)
+            # Parent-side stages only: the grading-side stages were
+            # observed where the grading ran (and arrive via worker
+            # deltas in process mode) — re-observing them here would
+            # double count.
+            stage_cells = handles["stage_cells"]
+            for stage, seconds in stages.items():
+                stage_cell = stage_cells.get(stage)
+                if stage_cell is None:
+                    stage_cell = stage_cells[stage] = (
+                        handles["stage_seconds"].labels(stage=stage)
+                    )
+                stage_cell.observe(seconds)
+            metrics = record.get("metrics")
+            grading_event(
+                request_id,
+                problem,
+                record.get("status", "?"),
+                wall_time,
+                stages=stages,
+                grading_stages=(
+                    metrics.get("stages")
+                    if isinstance(metrics, dict)
+                    else None
+                ),
+                slow_ms=self.slow_ms,
+                outcome=outcome,
+            )
         return GradeOutcome(
-            record=record, key=key, wall_time=time.monotonic() - started
+            record=record,
+            key=key,
+            cached=cached,
+            deduped=deduped,
+            wall_time=wall_time,
+            request_id=request_id,
         )
 
     def stats(self) -> dict:
@@ -353,6 +494,13 @@ class FeedbackService:
             served = dict(self._served)
             queued = self._queued
             active = self._active
+            # Snapshotted inside the locked section with everything
+            # else: _avg_grade_s is written under the lock by graders,
+            # and executor.info() reads recycle counts that must be
+            # coherent with the request counters above.
+            avg_grade_s = self._avg_grade_s
+            executor_info = self._executor.info()
+        registry = global_registry()
         payload = {
             "uptime_s": round(time.monotonic() - self._started, 3),
             "jobs": self.jobs,
@@ -361,16 +509,60 @@ class FeedbackService:
             "queued": queued,
             "backend": self.backend,
             "explorer": self.explorer,
-            "executor": self._executor.info(),
+            "executor": executor_info,
             "by_status": by_status,
-            "avg_grade_s": round(self._avg_grade_s, 4),
+            "avg_grade_s": round(avg_grade_s, 4),
             "cache": self.cache.stats,
             "problems": {
                 name: served.get(name, 0) for name in self.warmup.problems
             },
+            #: Histogram-backed percentiles (empty until observed, and
+            #: with observability off): request latency by outcome,
+            #: grading latency by problem, stage latency by stage.
+            "latency": {
+                "request_seconds": registry.histogram_summary(
+                    "repro_request_seconds"
+                ),
+                "grading_seconds": registry.histogram_summary(
+                    "repro_grading_seconds"
+                ),
+                "stage_seconds": registry.histogram_summary(
+                    "repro_grading_stage_seconds"
+                ),
+            },
         }
         payload.update(counters)
         return payload
+
+    def metrics_text(self) -> str:
+        """The ``GET /metrics`` Prometheus exposition body.
+
+        Point-in-time gauges are refreshed at scrape time; counters and
+        histograms accumulate as requests are served (worker-process
+        contributions arrive merged via the result pipe).
+        """
+        registry = global_registry()
+        with self._lock:
+            queued = self._queued
+            active = self._active
+        registry.gauge(
+            "repro_uptime_seconds", help="Service uptime"
+        ).set(round(time.monotonic() - self._started, 3))
+        registry.gauge(
+            "repro_queue_depth", help="Requests waiting for a grading slot"
+        ).set(queued)
+        registry.gauge(
+            "repro_active_gradings", help="Gradings running right now"
+        ).set(active)
+        registry.gauge(
+            "repro_cache_entries", help="Result-cache entries resident"
+        ).set(self.cache.stats.get("entries", 0))
+        for key, value in self._executor.health().items():
+            registry.gauge(
+                f"repro_{key}",
+                help=f"Worker pool: {key.replace('_', ' ')}",
+            ).set(value)
+        return render(registry.snapshot())
 
     def problems_info(self) -> list:
         return [warm.info() for warm in self.warmup.problems.values()]
@@ -378,11 +570,15 @@ class FeedbackService:
     def healthz(self) -> dict:
         with self._lock:
             closed = self._closed
-        return {
+        payload = {
             "status": "draining" if closed else "ok",
             "problems": len(self.warmup),
             "uptime_s": round(time.monotonic() - self._started, 3),
         }
+        # Process-executor pools report slot readiness (ready / warming /
+        # recycled); the thread executor has nothing to add.
+        payload.update(self._executor.health())
+        return payload
 
     def close(self, drain: bool = True, persist: bool = True) -> None:
         """Stop taking work; optionally wait for in-flight gradings.
@@ -410,8 +606,15 @@ class FeedbackService:
             raise UnknownProblem(problem) from None
 
     def _admit_and_grade(
-        self, warm, source: str, engine_name: str, budget: float
+        self,
+        warm,
+        source: str,
+        engine_name: str,
+        budget: float,
+        request_id: str = "",
+        stages: Optional[Dict[str, float]] = None,
     ) -> dict:
+        admit_started = time.monotonic()
         with self._lock:
             # Everything admitted but not finished: the ``jobs`` slots
             # plus at most ``queue_limit`` waiters. Beyond that the queue
@@ -430,10 +633,12 @@ class FeedbackService:
             self._queued -= 1
             self._active += 1
         grade_started = time.monotonic()
+        if stages is not None:
+            stages["queue_wait"] = grade_started - admit_started
         try:
             try:
                 record = self._executor.grade(
-                    warm.name, source, engine_name, budget
+                    warm.name, source, engine_name, budget, request_id
                 )
             except Exception as exc:
                 # Executors return error records themselves; this catches

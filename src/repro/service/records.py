@@ -62,6 +62,10 @@ def report_to_record(report: FeedbackReport) -> dict:
             }
             for item in report.items
         ],
+        # Telemetry rides along only when observability produced it; the
+        # key is stripped by comparable_record, so records stay
+        # byte-identical under comparison with obs on or off.
+        **({"metrics": report.metrics} if report.metrics is not None else {}),
     }
 
 
@@ -93,19 +97,29 @@ def record_to_report(record: dict) -> FeedbackReport:
         fixed_source=record.get("fixed_source"),
         wall_time=record.get("wall_time", 0.0),
         detail=record.get("detail", ""),
+        metrics=record.get("metrics"),
     )
+
+
+#: Record keys that vary run to run: raw timing, and the telemetry block
+#: (stage timings + engine depth counters) attached when observability is
+#: on. Everything else is deterministic for a given (problem, model,
+#: engine, budget, backend) configuration.
+NONDETERMINISTIC_KEYS = frozenset({"wall_time", "metrics"})
 
 
 def comparable_record(record: dict) -> dict:
     """A record with its nondeterministic fields dropped.
 
-    ``wall_time`` varies run to run; everything else a record carries is
-    deterministic for a given (problem, model, engine, budget, backend)
-    configuration. The differential suites compare server responses,
-    batch output and direct :func:`~repro.core.api.generate_feedback`
-    calls byte-for-byte on this view.
+    The differential suites compare server responses, batch output and
+    direct :func:`~repro.core.api.generate_feedback` calls byte-for-byte
+    on this view — with telemetry enabled or disabled.
     """
-    return {key: value for key, value in record.items() if key != "wall_time"}
+    return {
+        key: value
+        for key, value in record.items()
+        if key not in NONDETERMINISTIC_KEYS
+    }
 
 
 def is_record(value: Optional[dict]) -> bool:

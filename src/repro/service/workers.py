@@ -29,6 +29,7 @@ payload for ``GET /stats``.
 from __future__ import annotations
 
 import itertools
+import logging
 import multiprocessing
 import os
 import threading
@@ -38,6 +39,13 @@ from repro.compile import set_default_backend
 from repro.core.api import generate_feedback
 from repro.engines import engine_by_name
 from repro.explore import set_default_explorer
+from repro.obs import (
+    global_registry,
+    observe_grading,
+    resolve_obs,
+    snapshot_delta,
+)
+from repro.obs.events import emit
 from repro.service.records import error_record, report_to_record
 
 THREAD = "thread"
@@ -123,9 +131,15 @@ def grade_record(
             verifier=verifier,
             backend=backend,
         )
+        record = report_to_record(report)
     except Exception as exc:
-        return error_record(spec.name, exc)
-    return report_to_record(report)
+        record = error_record(spec.name, exc)
+    if resolve_obs(None):
+        # The single record → registry ingestion point: it runs in
+        # whichever process graded, so worker registries fill exactly
+        # like the thread executor's and delta shipping stays uniform.
+        observe_grading(record, engine_name)
+    return record
 
 
 # -- single-problem batch workers (ProcessPoolExecutor protocol) -------------
@@ -220,6 +234,11 @@ def _pool_worker_main(
         except OSError:
             pass
         return
+    # Telemetry baseline *after* warmup: under fork start methods the
+    # child inherits the parent's registry contents (and the warmup just
+    # primed more), none of which this worker may ever ship back — the
+    # parent already holds those counts. Deltas start from here.
+    last_snapshot = global_registry().snapshot()
     while True:
         try:
             message = conn.recv()
@@ -227,7 +246,8 @@ def _pool_worker_main(
             return
         if not isinstance(message, tuple) or message[0] != "grade":
             return  # "stop" or garbage: either way, exit cleanly
-        _, problem, source, request_engine, timeout_s = message
+        _, problem, source, request_engine, timeout_s = message[:5]
+        request_id = message[5] if len(message) > 5 else ""
         warm = state.get(problem)
         if warm is None:
             record = error_record(
@@ -245,8 +265,23 @@ def _pool_worker_main(
                 backend,
                 explorer,
             )
+        # Ship what this grading added to the worker's registry alongside
+        # the record; the parent merges it so one scrape covers the fleet.
+        delta = None
+        if resolve_obs(None):
+            emit(
+                "worker_grading",
+                level=logging.DEBUG,
+                request_id=request_id,
+                problem=problem,
+                status=record.get("status", "?"),
+                pid=os.getpid(),
+            )
+            current = global_registry().snapshot()
+            delta = snapshot_delta(current, last_snapshot)
+            last_snapshot = current
         try:
-            conn.send(("record", record))
+            conn.send(("record", record, delta))
         except (BrokenPipeError, OSError):
             return
 
@@ -414,6 +449,11 @@ class ProcessExecutor:
             self._recycled += 1
             if not self._closed:
                 self._start(handle)
+        if resolve_obs(None):
+            global_registry().counter(
+                "repro_worker_recycles_total",
+                help="Grading workers killed and respawned (crash/wedge)",
+            ).inc()
 
     def close(self) -> None:
         """Stop every worker. Safe to call twice.
@@ -481,7 +521,12 @@ class ProcessExecutor:
         return handle
 
     def grade(
-        self, problem: str, source: str, engine_name: str, timeout_s: float
+        self,
+        problem: str,
+        source: str,
+        engine_name: str,
+        timeout_s: float,
+        request_id: str = "",
     ) -> dict:
         """Dispatch one grading to a worker owning ``problem``."""
         handle = self._acquire(problem)
@@ -509,11 +554,24 @@ class ProcessExecutor:
                     return error_record(problem, exc)
             try:
                 handle.conn.send(
-                    ("grade", problem, source, engine_name, timeout_s)
+                    (
+                        "grade",
+                        problem,
+                        source,
+                        engine_name,
+                        timeout_s,
+                        request_id,
+                    )
                 )
                 if handle.conn.poll(window):
-                    kind, record = handle.conn.recv()
+                    reply = handle.conn.recv()
+                    kind, record = reply[0], reply[1]
                     if kind == "record":
+                        # Fold the worker's per-request metric delta into
+                        # this process's registry: /metrics and /stats in
+                        # the parent then cover work done fleet-wide.
+                        if len(reply) > 2 and reply[2]:
+                            global_registry().merge(reply[2])
                         return record
                     raise RuntimeError(
                         f"unexpected worker reply {kind!r}"
@@ -558,4 +616,20 @@ class ProcessExecutor:
                 str(handle.index): list(handle.problems)
                 for handle in self._workers
             },
+        }
+
+    def health(self) -> dict:
+        """The ``GET /healthz`` view of the pool: slot readiness.
+
+        ``ready`` flags are read unlocked — a worker that just reported
+        in may briefly count as warming, never the reverse for long.
+        """
+        ready = sum(1 for handle in self._workers if handle.ready)
+        with self._state_lock:
+            recycled = self._recycled
+        return {
+            "workers": self.workers,
+            "workers_ready": ready,
+            "workers_warming": self.workers - ready,
+            "workers_recycled": recycled,
         }
