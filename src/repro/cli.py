@@ -184,6 +184,20 @@ def cmd_serve(args: argparse.Namespace) -> int:
         raise SystemExit("--queue must be >= 0")
     if args.workers is not None and args.workers < 1:
         raise SystemExit("--workers must be >= 1")
+    if args.breaker_threshold < 0:
+        raise SystemExit("--breaker-threshold must be >= 0")
+    if args.breaker_reset <= 0:
+        raise SystemExit("--breaker-reset must be > 0")
+    if args.faults:
+        # Explicit flag outranks REPRO_FAULTS; configured before any
+        # worker forks so children inherit the armed plan.
+        from repro.resilience import faults as fault_injection
+
+        try:
+            fault_injection.configure(args.faults)
+        except ValueError as exc:
+            raise SystemExit(f"--faults: {exc}")
+        print(f"FAULT INJECTION ARMED: {args.faults}")
     if args.slow_ms is not None:
         if args.slow_ms <= 0:
             raise SystemExit("--slow-ms must be > 0")
@@ -246,6 +260,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
         workers=args.workers,
         shard=args.shard_problems,
         prime_workers=not args.no_prime,
+        breaker_threshold=args.breaker_threshold,
+        breaker_reset_s=args.breaker_reset,
     )
     server = FeedbackHTTPServer(
         service, host=args.host, port=args.port, verbose=args.verbose
@@ -427,6 +443,28 @@ def main(argv: Optional[list] = None) -> int:
         default=None,
         help="log gradings slower than this many ms at WARNING with "
         '"slow": true (default 1000; also settable via REPRO_SLOW_MS)',
+    )
+    serve.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=5,
+        help="consecutive timeouts/errors on one problem (or one exact "
+        "submission) before its circuit breaker opens and requests get "
+        "degraded feedback without a solve; 0 disables the breakers",
+    )
+    serve.add_argument(
+        "--breaker-reset",
+        type=float,
+        default=30.0,
+        help="seconds an open breaker waits before letting one half-open "
+        "probe grade for real",
+    )
+    serve.add_argument(
+        "--faults",
+        default=None,
+        help="arm fault injection (testing only), e.g. "
+        "'worker.crash:n=1,cache.write:p=0.5:seed=7'; also settable via "
+        "REPRO_FAULTS",
     )
 
     table1 = sub.add_parser("table1", help="run the Table 1 experiment")

@@ -31,6 +31,7 @@ from repro.engines.verify import BoundedVerifier, outcome_of
 from repro.mpy import parse_program, to_source
 from repro.mpy.errors import FrontendError, MPYRuntimeError, UnsupportedFeature
 from repro.obs import StageTimer, resolve_obs
+from repro.resilience.deadline import Deadline
 from repro.tilde.nodes import instantiate
 
 # Report statuses (the paper's test-set categories).
@@ -59,6 +60,11 @@ class FeedbackReport:
     #: Telemetry (observability on only): ``{"stages": {...}, "engine":
     #: {...}}`` — grading-side stage timings plus engine-depth counters.
     metrics: Optional[dict] = None
+    #: Degraded feedback on timeout/short-circuit paths only:
+    #: ``{"reason": ..., "failing_tests": [...]}``. Deterministic (the
+    #: submission as written on canonical inputs), so it may live on
+    #: cached records; absent on every clean-path status.
+    degraded: Optional[dict] = None
 
     @property
     def fixed(self) -> bool:
@@ -74,7 +80,20 @@ class FeedbackReport:
                 "The tool could not correct this program with the current "
                 "error model."
             )
-        return f"Could not analyze the submission: {self.status} {self.detail}".strip()
+        base = (
+            f"Could not analyze the submission: {self.status} "
+            f"{self.detail}"
+        ).strip()
+        failing = (self.degraded or {}).get("failing_tests")
+        if failing:
+            lines = [base, "Partial feedback — your program fails on:"]
+            lines.extend(
+                f"  input {test['input']}: expected {test['expected']}, "
+                f"got {test['got']}"
+                for test in failing
+            )
+            return "\n".join(lines)
+        return base
 
 
 #: One BoundedVerifier per live ProblemSpec. The mapping is weak on
@@ -149,6 +168,7 @@ def generate_feedback(
     timeout_s: float = 60.0,
     verifier: Optional[BoundedVerifier] = None,
     backend: Optional[str] = None,
+    deadline: Optional[Deadline] = None,
 ) -> FeedbackReport:
     """Run the full pipeline on one student submission.
 
@@ -156,6 +176,12 @@ def generate_feedback(
     side via ``Engine.solve(backend=...)``, reference side via a
     non-cached ``BoundedVerifier(backend=...)`` when no verifier is
     supplied. ``None`` defers to the process default everywhere.
+
+    ``deadline`` carries the request's end-to-end budget into the solve
+    (queue wait already spent from it); ``None`` starts a fresh
+    ``timeout_s`` clock here, the standalone-call behavior. A timeout
+    report carries what the run still learned — failing tests of the
+    submission as written — under ``report.degraded``.
     """
     start = time.monotonic()
     engine = engine or CegisMinEngine()
@@ -215,8 +241,19 @@ def generate_feedback(
         return report(BAD_SIGNATURE, detail=str(exc))
     book("rewrite")
 
+    if deadline is not None and deadline.expired():
+        # The budget died in the queue/warmup; don't start a solve that
+        # is already over.
+        return report(TIMEOUT, detail="deadline exhausted before solve")
+
     result = engine.solve(
-        tilde, registry, spec, verifier, timeout_s=timeout_s, backend=backend
+        tilde,
+        registry,
+        spec,
+        verifier,
+        timeout_s=timeout_s,
+        backend=backend,
+        deadline=deadline,
     )
     book("solve")
 
@@ -240,7 +277,13 @@ def generate_feedback(
     if result.status == "no_fix":
         return report(NO_FIX, engine_result=result)
     if result.status in ("timeout", "exhausted"):
-        return report(TIMEOUT, engine_result=result)
+        rep = report(TIMEOUT, engine_result=result)
+        if result.failing:
+            rep.degraded = {
+                "reason": "solver_timeout",
+                "failing_tests": result.failing,
+            }
+        return rep
     return report(NO_FIX, engine_result=result, detail=result.status)
 
 

@@ -36,6 +36,7 @@ from repro.tilde.nodes import HoleRegistry
 
 if TYPE_CHECKING:
     from repro.core.spec import ProblemSpec
+    from repro.resilience.deadline import Deadline
 
 #: Engine statuses.
 FIXED = "fixed"  # a minimal correction set was found
@@ -57,6 +58,11 @@ class EngineResult:
     counterexamples: int = 0
     wall_time: float = 0.0
     stats: dict = field(default_factory=dict)
+    #: Degraded feedback on ``timeout``: JSON-safe failing tests of the
+    #: submission *as written* (assignment ∅) over the verifier's
+    #: canonical input prefix — deterministic regardless of where the
+    #: solve stopped. None on every other status.
+    failing: Optional[list] = None
 
     @property
     def fixed(self) -> bool:
@@ -256,6 +262,7 @@ class Engine(abc.ABC):
         verifier,
         timeout_s: float = 60.0,
         backend: Optional[str] = None,
+        deadline: Optional["Deadline"] = None,
     ) -> EngineResult:
         """Find a minimal-cost hole assignment equivalent to the reference.
 
@@ -263,6 +270,12 @@ class Engine(abc.ABC):
         solve (``None`` = process default), mirroring the ``backend=``
         the :class:`~repro.engines.verify.BoundedVerifier` already takes
         for the reference side.
+
+        ``deadline`` is the request's end-to-end
+        :class:`~repro.resilience.deadline.Deadline`; when given it caps
+        the solve *in addition to* ``timeout_s`` (queue wait and warmup
+        already spent from it). ``None`` means the engine starts a fresh
+        ``timeout_s`` clock — the standalone-call behavior.
         """
 
     def config_label(self) -> str:

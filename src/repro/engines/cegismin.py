@@ -62,6 +62,7 @@ from repro.tilde.semantics import assignment_cost
 
 if TYPE_CHECKING:
     from repro.core.spec import ProblemSpec
+    from repro.resilience.deadline import Deadline
 
 
 class CegisMinEngine(Engine):
@@ -104,9 +105,17 @@ class CegisMinEngine(Engine):
         verifier: BoundedVerifier,
         timeout_s: float = 60.0,
         backend: Optional[str] = None,
+        deadline: Optional["Deadline"] = None,
     ) -> EngineResult:
         start = time.monotonic()
-        deadline = start + timeout_s
+        # One float instant feeds every layer below (forker, verifier,
+        # SAT solver): the engine's own budget, tightened by whatever the
+        # request's end-to-end deadline has left.
+        deadline = (
+            min(start + timeout_s, deadline.at)
+            if deadline is not None
+            else start + timeout_s
+        )
         explorer = resolve_explorer(self.explorer)
         space = CandidateSpace(
             tilde,
@@ -134,11 +143,23 @@ class CegisMinEngine(Engine):
         forker_runs = 0
 
         def result(status: str, minimal: bool) -> EngineResult:
+            failing = None
+            if status == TIMEOUT:
+                # Degraded feedback: what the submission as written does
+                # on the verifier's first inputs — deterministic and a
+                # few bounded runs, well inside the timeout grace.
+                try:
+                    failing = verifier.failing_tests(
+                        lambda args: space.outcome({}, args)
+                    )
+                except Exception:
+                    failing = None
             return EngineResult(
                 status=status,
                 assignment=best,
                 cost=best_cost,
                 minimal=minimal,
+                failing=failing,
                 iterations=iterations,
                 counterexamples=len(cex_cache),
                 wall_time=time.monotonic() - start,
@@ -228,7 +249,18 @@ class CegisMinEngine(Engine):
                 )
             sat_calls += 1
             encoding.reset_phases()
-            if solver.solve(assumptions=assumptions) != SAT:
+            try:
+                verdict = solver.solve(
+                    assumptions=assumptions, deadline=deadline
+                )
+            except TimeoutError:
+                # The solver aborted mid-search; its partial state is
+                # meaningless for this cost level but the run's best
+                # verified solution (if any) still stands.
+                return result(
+                    FIXED if best is not None else TIMEOUT, minimal=False
+                )
+            if verdict != SAT:
                 if self.strategy == "ascend":
                     level = next(levels, None)
                     if level is None:

@@ -45,6 +45,7 @@ from repro.tilde.nodes import HoleRegistry
 
 if TYPE_CHECKING:
     from repro.core.spec import ProblemSpec
+    from repro.resilience.deadline import Deadline
 
 
 def _topological_holes(registry: HoleRegistry) -> List:
@@ -150,9 +151,16 @@ class EnumerativeEngine(Engine):
         verifier: BoundedVerifier,
         timeout_s: float = 60.0,
         backend: Optional[str] = None,
+        deadline: Optional["Deadline"] = None,
     ) -> EngineResult:
         start = time.monotonic()
-        deadline = start + timeout_s
+        # The engine's own budget, tightened by the request's end-to-end
+        # deadline (queue wait and warmup already spent from it).
+        deadline = (
+            min(start + timeout_s, deadline.at)
+            if deadline is not None
+            else start + timeout_s
+        )
         explorer = resolve_explorer(self.explorer)
         space = CandidateSpace(
             tilde,
@@ -176,11 +184,21 @@ class EnumerativeEngine(Engine):
         forker_runs = 0
 
         def result(status, assignment=None, cost=None) -> EngineResult:
+            failing = None
+            if status == TIMEOUT:
+                # Degraded feedback for the timeout path (see cegismin).
+                try:
+                    failing = verifier.failing_tests(
+                        lambda args: space.outcome({}, args)
+                    )
+                except Exception:
+                    failing = None
             return EngineResult(
                 status=status,
                 assignment=assignment,
                 cost=cost,
                 minimal=status == FIXED,
+                failing=failing,
                 iterations=candidates,
                 counterexamples=len(cex_cache),
                 wall_time=time.monotonic() - start,

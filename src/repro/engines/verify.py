@@ -39,6 +39,16 @@ if TYPE_CHECKING:
     from repro.explore.table import ExplorationTable, Leaf
 
 
+def describe_outcome(outcome: Outcome) -> str:
+    """One outcome as a short human/JSON-safe string (degraded reports)."""
+    if outcome[0] == ERROR:
+        return "error"
+    text = repr(outcome[1])
+    if len(outcome) > 2 and outcome[2]:
+        text += f" (stdout: {outcome[2]!r})"
+    return text
+
+
 def _input_size_key(args: tuple) -> tuple:
     """Order inputs smallest-first so counterexample sweeps fail fast."""
 
@@ -178,6 +188,42 @@ class BoundedVerifier:
 
     def is_equivalent(self, run: Callable[[tuple], Outcome]) -> bool:
         return self.find_counterexample(run) is None
+
+    def failing_tests(
+        self,
+        run: Callable[[tuple], Outcome],
+        limit: int = 3,
+        max_inputs: int = 64,
+    ) -> List[dict]:
+        """JSON-safe mismatches of ``run`` on a prefix of the space.
+
+        The degraded-feedback payload: when a solve times out or a
+        breaker short-circuits, the submission's behavior on concrete
+        inputs is still real feedback. Bounded by ``max_inputs`` scans
+        and ``limit`` reported rows, and deterministic — inputs go in
+        the verifier's canonical order, independent of where any solve
+        stopped — so degraded records are byte-identical across
+        executors and retries.
+        """
+        self._materialize()
+        failing: List[dict] = []
+        for args, _key, expected in self._triples[:max_inputs]:
+            try:
+                outcome = run(args)
+            except Exception:
+                outcome = (ERROR,)
+            if outcomes_match(expected, outcome):
+                continue
+            failing.append(
+                {
+                    "input": repr(args),
+                    "expected": describe_outcome(expected),
+                    "got": describe_outcome(outcome),
+                }
+            )
+            if len(failing) >= limit:
+                break
+        return failing
 
     # -- table side ---------------------------------------------------------
 

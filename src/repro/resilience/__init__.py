@@ -1,0 +1,42 @@
+"""Resilience layer: deadlines, fault injection, breakers, degradation.
+
+The serving stack's answer to production failure modes:
+
+- :mod:`repro.resilience.deadline` — one monotonic :class:`Deadline`
+  per request, carried client → HTTP → service → worker → engine, with
+  amortized checking (:class:`DeadlineTicker`) cheap enough for the SAT
+  solver's conflict loop;
+- :mod:`repro.resilience.faults` — named injection points at every seam
+  (worker crash/hang, pipe drop, cache IO, slow/raising gradings),
+  armed via ``REPRO_FAULTS`` / ``serve --faults``, zero-cost disarmed —
+  the substrate of the ``tests/resilience`` chaos suite;
+- :mod:`repro.resilience.breaker` — per-problem and per-submission-hash
+  circuit breakers with half-open probes, so repeated pathological work
+  gets an immediate degraded response instead of a grading slot;
+- :mod:`repro.resilience.degrade` — the degraded response itself: a
+  deterministic failing-tests report about the submission as written.
+"""
+
+from repro.resilience.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerBoard,
+    CircuitBreaker,
+)
+from repro.resilience.deadline import Deadline, DeadlineTicker
+from repro.resilience.degrade import submission_failing_tests
+from repro.resilience.faults import FaultInjected, FaultPlan
+
+__all__ = [
+    "BreakerBoard",
+    "CLOSED",
+    "CircuitBreaker",
+    "Deadline",
+    "DeadlineTicker",
+    "FaultInjected",
+    "FaultPlan",
+    "HALF_OPEN",
+    "OPEN",
+    "submission_failing_tests",
+]

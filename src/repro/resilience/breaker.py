@@ -1,0 +1,176 @@
+"""Circuit breakers over grading keys.
+
+At fleet scale the same pathological submission arrives over and over —
+the one infinite loop half the class copied, or a problem whose solver
+budget the error model can no longer meet. Re-burning a worker slot on
+every repeat is pure waste: after ``threshold`` *consecutive*
+timeout/crash outcomes for a key the breaker **opens** and repeats get
+an immediate degraded response instead of a grading slot. After
+``reset_s`` the breaker lets exactly one probe through (**half-open**);
+a clean outcome closes it, another failure re-opens the clock.
+
+The service keys breakers two ways — per problem (a sick problem
+configuration) and per canonical submission hash (one sick submission)
+— and a request is short-circuited when *either* is open, so a single
+pathological submission cannot open the whole problem, while a broken
+problem still trips without any single submission repeating.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+
+class CircuitBreaker:
+    """One key's breaker; not thread-safe (the board serializes access)."""
+
+    __slots__ = ("threshold", "reset_s", "state", "failures", "opened_at", "opened_total")
+
+    def __init__(self, threshold: int, reset_s: float):
+        self.threshold = threshold
+        self.reset_s = reset_s
+        self.state = CLOSED
+        self.failures = 0
+        self.opened_at = 0.0
+        #: How many times this breaker has opened (telemetry).
+        self.opened_total = 0
+
+    def allow(self, now: Optional[float] = None) -> bool:
+        """Whether a request may proceed; transitions open → half-open
+        when the reset window has elapsed (the caller becomes the probe).
+        """
+        if self.state == CLOSED:
+            return True
+        now = time.monotonic() if now is None else now
+        if self.state == OPEN and now - self.opened_at >= self.reset_s:
+            self.state = HALF_OPEN
+            return True
+        # OPEN inside the window, or HALF_OPEN with the probe in flight.
+        return False
+
+    def record_success(self) -> None:
+        self.state = CLOSED
+        self.failures = 0
+
+    def record_failure(self, now: Optional[float] = None) -> None:
+        self.failures += 1
+        if self.state == HALF_OPEN or self.failures >= self.threshold:
+            if self.state != OPEN:
+                self.opened_total += 1
+            self.state = OPEN
+            self.opened_at = time.monotonic() if now is None else now
+
+
+class BreakerBoard:
+    """Thread-safe keyed breakers with all-or-nothing admission.
+
+    ``threshold=0`` disables the board entirely: :meth:`admit` always
+    allows and outcomes are not recorded — the resilience-off state the
+    byte-identity contract compares against.
+    """
+
+    def __init__(self, threshold: int = 5, reset_s: float = 30.0):
+        if threshold < 0:
+            raise ValueError("breaker threshold must be >= 0")
+        if reset_s <= 0:
+            raise ValueError("breaker reset window must be > 0")
+        self.threshold = threshold
+        self.reset_s = reset_s
+        self._breakers: Dict[str, CircuitBreaker] = {}
+        self._lock = threading.Lock()
+
+    @property
+    def enabled(self) -> bool:
+        return self.threshold > 0
+
+    def _get(self, key: str) -> CircuitBreaker:
+        breaker = self._breakers.get(key)
+        if breaker is None:
+            breaker = self._breakers[key] = CircuitBreaker(
+                self.threshold, self.reset_s
+            )
+        return breaker
+
+    def admit(self, keys: Sequence[str]) -> Tuple[bool, Optional[str]]:
+        """Atomically consult every key's breaker.
+
+        Returns ``(True, None)`` when all allow — any half-open ones
+        have committed this request as their probe — or ``(False,
+        blocking_key)``. Checked under one lock so two threads cannot
+        both become the probe of one half-open breaker.
+        """
+        if not self.enabled:
+            return True, None
+        now = time.monotonic()
+        with self._lock:
+            breakers = [(key, self._get(key)) for key in keys]
+            for key, breaker in breakers:
+                # Peek without transitioning: a half-open transition that
+                # a later key then vetoes must not burn the probe.
+                if breaker.state == OPEN and (
+                    now - breaker.opened_at < breaker.reset_s
+                ):
+                    return False, key
+                if breaker.state == HALF_OPEN:
+                    return False, key
+            for _, breaker in breakers:
+                breaker.allow(now)  # commit: open+elapsed → half-open
+            return True, None
+
+    def record(self, keys: Sequence[str], failure: bool) -> None:
+        """Feed one grading outcome back into every key's breaker."""
+        if not self.enabled:
+            return
+        with self._lock:
+            for key in keys:
+                breaker = self._get(key)
+                if failure:
+                    breaker.record_failure()
+                else:
+                    breaker.record_success()
+
+    def snapshot(self) -> Dict[str, List[str]]:
+        """Open and half-open keys (the ``/healthz`` payload)."""
+        out: Dict[str, List[str]] = {OPEN: [], HALF_OPEN: []}
+        if not self.enabled:
+            return out
+        now = time.monotonic()
+        with self._lock:
+            for key, breaker in self._breakers.items():
+                if breaker.state == OPEN:
+                    # Report the effective state: an elapsed reset window
+                    # means the next request is a probe.
+                    state = (
+                        HALF_OPEN
+                        if now - breaker.opened_at >= breaker.reset_s
+                        else OPEN
+                    )
+                    out[state].append(key)
+                elif breaker.state == HALF_OPEN:
+                    out[HALF_OPEN].append(key)
+        out[OPEN].sort()
+        out[HALF_OPEN].sort()
+        return out
+
+    def stats(self) -> dict:
+        snap = self.snapshot()
+        with self._lock:
+            opened_total = sum(
+                breaker.opened_total for breaker in self._breakers.values()
+            )
+            tracked = len(self._breakers)
+        return {
+            "enabled": self.enabled,
+            "threshold": self.threshold,
+            "reset_s": self.reset_s,
+            "tracked": tracked,
+            "open": len(snap[OPEN]),
+            "half_open": len(snap[HALF_OPEN]),
+            "opened_total": opened_total,
+        }

@@ -1,0 +1,71 @@
+"""Degraded-mode feedback: what we can still say without a solve.
+
+"Feedback Generation for Performance Problems" (Gulwani, Radiček &
+Zuleger) motivates budget-aware partial results: when the repair search
+cannot finish — solver timeout, open circuit breaker, dead worker pool —
+a failing-tests report about the student's *own* program is still real
+feedback, and it costs a handful of bounded interpreter runs instead of
+a solve.
+
+The sweep is deterministic by construction: the submission (hole
+assignment ∅ — i.e. the program as written) runs over the verifier's
+canonical input order, independent of where a solve stopped, so degraded
+payloads are byte-identical across executors and retries.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.compile import make_executor
+from repro.core.rewriter import SignatureError, normalize_submission
+from repro.engines.verify import BoundedVerifier, outcome_of
+from repro.mpy import parse_program
+from repro.mpy.errors import FrontendError, MPYRuntimeError, UnsupportedFeature
+
+#: Degraded payloads stay small: a student needs a few concrete failures,
+#: not the whole bounded space.
+DEFAULT_LIMIT = 3
+DEFAULT_MAX_INPUTS = 64
+
+
+def submission_failing_tests(
+    spec,
+    verifier: BoundedVerifier,
+    source: str,
+    limit: int = DEFAULT_LIMIT,
+    max_inputs: int = DEFAULT_MAX_INPUTS,
+) -> Tuple[List[dict], str]:
+    """``(failing_tests, note)`` for one raw submission.
+
+    The tests are JSON-safe ``{"input", "expected", "got"}`` rows from
+    :meth:`BoundedVerifier.failing_tests`. A submission that cannot even
+    run (syntax, signature, top-level crash) yields no tests and an
+    explanatory note instead — still more than a bare timeout.
+    """
+    try:
+        module = parse_program(source)
+    except (UnsupportedFeature, FrontendError) as exc:
+        return [], f"{type(exc).__name__}: {exc}"
+    try:
+        normalized, _ = normalize_submission(module, spec)
+    except SignatureError as exc:
+        return [], f"bad signature: {exc}"
+    try:
+        # The calibrated candidate budget, not spec.fuel: a degraded
+        # sweep over an infinite loop must fail in microseconds.
+        executor = make_executor(normalized, fuel=verifier.candidate_fuel)
+    except MPYRuntimeError as exc:
+        return [], f"top-level error: {exc}"
+
+    def run(args):
+        return outcome_of(
+            lambda: executor.call(spec.student_function, args),
+            spec.compare_stdout,
+        )
+
+    try:
+        tests = verifier.failing_tests(run, limit=limit, max_inputs=max_inputs)
+    except Exception as exc:  # degraded mode must never raise
+        return [], f"degraded sweep failed: {type(exc).__name__}: {exc}"
+    return tests, ""

@@ -24,6 +24,8 @@ from __future__ import annotations
 import heapq
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.resilience.deadline import DeadlineTicker
+
 SAT = "sat"
 UNSAT = "unsat"
 
@@ -302,19 +304,33 @@ class Solver:
 
     # -- main loop ---------------------------------------------------------------------
 
-    def solve(self, assumptions: Sequence[int] = ()) -> str:
+    def solve(
+        self,
+        assumptions: Sequence[int] = (),
+        deadline: Optional[float] = None,
+    ) -> str:
         """Solve under assumptions; returns SAT or UNSAT.
 
         On SAT, :meth:`model_value` reads the satisfying assignment (valid
         until the next :meth:`add_clause` or :meth:`solve` call).
+
+        ``deadline`` is a ``time.monotonic()`` instant; when it passes,
+        the call raises :class:`TimeoutError` (checked once per 256 main-
+        loop rounds, amortized like the interpreter's fuel counter — a
+        pathological formula aborts within the service's grace instead of
+        wedging the worker until the watchdog SIGKILLs it). The solver
+        stays usable: the next call backtracks to the root as always.
         """
         self.stats["calls"] += 1
         if self._unsat:
             return UNSAT
         self._cancel_until(0)
         self._ensure_vars(assumptions)
+        ticker = DeadlineTicker(deadline)
         conflict_budget = self.restart_base * luby(self.stats["restarts"] + 1)
         while True:
+            if ticker.tick():
+                raise TimeoutError("SAT solve deadline exceeded")
             conflict = self._propagate()
             if conflict is not None:
                 self.stats["conflicts"] += 1

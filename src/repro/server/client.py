@@ -11,8 +11,10 @@ from __future__ import annotations
 
 import http.client
 import json
+import random
 import socket
-from typing import Optional, Union
+import time
+from typing import Callable, Optional, Union
 
 from repro.obs import new_request_id
 
@@ -182,6 +184,63 @@ class FeedbackClient:
             body,
             extra_headers={"X-Request-Id": request_id or new_request_id()},
         )
+
+    #: HTTP statuses :meth:`grade_with_retry` retries: overload (429,
+    #: queue full — the server *asked* for a retry) and drain/startup
+    #: (503). Anything else — 400s, 404, 500 — is the request's fault or
+    #: a bug; retrying cannot fix it.
+    RETRYABLE_STATUSES = frozenset({429, 503})
+
+    def grade_with_retry(
+        self,
+        problem: str,
+        source: str,
+        engine: Optional[str] = None,
+        timeout_s: Optional[float] = None,
+        request_id: Optional[str] = None,
+        max_attempts: int = 5,
+        base_delay_s: float = 0.5,
+        max_delay_s: float = 30.0,
+        sleep: Callable[[float], None] = time.sleep,
+        rng: Callable[[], float] = random.random,
+    ) -> dict:
+        """:meth:`grade` with bounded exponential backoff on overload.
+
+        The delay before attempt ``k`` is **full jitter** over the
+        exponential ceiling — ``uniform(0, min(max_delay_s, base_delay_s
+        * 2**k))`` — so a cohort of clients bounced by one 429 spreads
+        out instead of returning in lockstep. When the server sent a
+        ``retry_after_s`` hint, the delay never undercuts it: the hint
+        is sized to the backlog, and coming back earlier just buys
+        another rejection. The last attempt's error propagates.
+
+        ``sleep`` and ``rng`` are injectable for tests.
+        """
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        one_request_id = request_id or new_request_id()
+        for attempt in range(max_attempts):
+            try:
+                return self.grade(
+                    problem,
+                    source,
+                    engine=engine,
+                    timeout_s=timeout_s,
+                    request_id=one_request_id,
+                )
+            except ServerError as exc:
+                if (
+                    exc.status not in self.RETRYABLE_STATUSES
+                    or attempt == max_attempts - 1
+                ):
+                    raise
+                ceiling = min(max_delay_s, base_delay_s * (2.0 ** attempt))
+                delay = rng() * ceiling
+                hint = exc.retry_after_s
+                if hint is not None:
+                    delay = max(delay, min(float(hint), max_delay_s))
+                sleep(delay)
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def problems(self) -> list:
         return self._request("GET", "/problems")["problems"]

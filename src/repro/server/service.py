@@ -34,10 +34,11 @@ other's entries.
 
 from __future__ import annotations
 
+import logging
 import threading
 import time
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from concurrent.futures import Future
 
@@ -51,12 +52,22 @@ from repro.obs import (
     resolve_obs,
     resolve_slow_ms,
 )
-from repro.obs.events import grading_event
+from repro.obs.events import emit, grading_event
+from repro.resilience.breaker import HALF_OPEN, OPEN, BreakerBoard
+from repro.resilience.deadline import Deadline
+from repro.resilience.degrade import submission_failing_tests
 from repro.server.warm import Warmup, warm_registry
 from repro.service.cache import ResultCache, cache_key, engine_label
 from repro.service.canonical import canonicalize
 from repro.service.runner import DEFAULT_TIMEOUT_S
-from repro.service.records import ERROR, error_record
+from repro.service.records import (
+    DEGRADED,
+    ERROR,
+    TIMEOUT,
+    degraded_record,
+    error_record,
+    timeout_record,
+)
 from repro.service.workers import (
     PROCESS,
     THREAD,
@@ -131,6 +142,7 @@ class ThreadExecutor:
         engine_name: str,
         timeout_s: float,
         request_id: str = "",
+        deadline: Optional[Deadline] = None,
     ) -> dict:
         warm = self._warmup[problem]
         return grade_record(
@@ -142,6 +154,7 @@ class ThreadExecutor:
             timeout_s,
             self._backend,
             self._explorer,
+            deadline=deadline,
         )
 
     def close(self) -> None:
@@ -173,11 +186,15 @@ class FeedbackService:
         shard: bool = False,
         prime_workers: Optional[bool] = None,
         slow_ms: Optional[float] = None,
+        breaker_threshold: int = 5,
+        breaker_reset_s: float = 30.0,
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
         if queue_limit < 0:
             raise ValueError("queue_limit must be >= 0")
+        if breaker_threshold < 0:
+            raise ValueError("breaker_threshold must be >= 0")
         if default_engine not in ENGINES:
             raise ValueError(f"unknown engine {default_engine!r}")
         if workers is not None and workers < 1:
@@ -260,11 +277,20 @@ class FeedbackService:
         self._since_persist = 0
         self._started = time.monotonic()
         self._served: Dict[str, int] = {}
+        #: Per-problem and per-canonical-hash circuit breakers: repeated
+        #: timeouts/crashes on one problem (or one exact submission) open
+        #: the breaker and requests short-circuit to degraded feedback
+        #: until a half-open probe succeeds. ``breaker_threshold=0``
+        #: disables the board — the resilience-off configuration.
+        self.breakers = BreakerBoard(
+            threshold=breaker_threshold, reset_s=breaker_reset_s
+        )
         self._counters = {
             "requests": 0,
             "graded": 0,
             "cache_hits": 0,
             "dedup_hits": 0,
+            "degraded": 0,
             "rejected": 0,
             "errors": 0,
         }
@@ -302,6 +328,11 @@ class FeedbackService:
         if engine_name not in ENGINES:
             raise ValueError(f"unknown engine {engine_name!r}")
         budget = timeout_s if timeout_s is not None else self.default_timeout_s
+        # The end-to-end deadline: everything from here — canonicalize,
+        # queue wait, worker dispatch, the solve itself — spends from one
+        # monotonic budget, so a pathological submission cannot hold its
+        # slot past ``budget`` plus the watchdog grace.
+        deadline = Deadline.after(budget)
 
         form = canonicalize(source, warm.spec)
         key = cache_key(
@@ -310,6 +341,10 @@ class FeedbackService:
             form.digest,
             engine=engine_label(engine_name, self.explorer),
             timeout_s=budget,
+        )
+        breaker_keys = (
+            f"problem:{warm.name}",
+            f"hash:{warm.name}:{form.digest}",
         )
         if stages is not None:
             stages["canonicalize"] = time.monotonic() - started
@@ -326,7 +361,7 @@ class FeedbackService:
         try:
             return self._graded_outcome(
                 warm, source, engine_name, budget, key, started,
-                request_id, stages,
+                request_id, stages, deadline, breaker_keys,
             )
         finally:
             with self._idle:
@@ -335,7 +370,7 @@ class FeedbackService:
 
     def _graded_outcome(
         self, warm, source, engine_name, budget, key, started,
-        request_id, stages,
+        request_id, stages, deadline, breaker_keys,
     ) -> GradeOutcome:
         lookup_started = time.monotonic()
         record = self.cache.get(key)
@@ -345,6 +380,18 @@ class FeedbackService:
             return self._finish(
                 "cache_hit", record, key, started, request_id, stages,
                 cached=True,
+            )
+
+        # Circuit breakers fire only on the would-grade path: cache hits
+        # are free and safe to serve, and a follower rides whatever its
+        # leader got. A blocked request gets degraded feedback — failing
+        # tests of the submission as written — instead of burning a slot
+        # on a problem that is currently timing out or crashing.
+        allowed, blocked_key = self.breakers.admit(breaker_keys)
+        if not allowed:
+            record = self._degraded_fastfail(warm, source, blocked_key)
+            return self._finish(
+                "degraded", record, key, started, request_id, stages
             )
 
         future: Future = Future()
@@ -360,13 +407,17 @@ class FeedbackService:
             )
 
         try:
-            record = self._admit_and_grade(
-                warm, source, engine_name, budget, request_id, stages
+            record, cacheable = self._admit_and_grade(
+                warm, source, engine_name, budget, request_id, stages,
+                deadline, breaker_keys,
             )
             # Cache before dropping the in-flight entry: an identical
             # submission arriving in between must find one or the other,
-            # never a gap that re-grades.
-            if record["status"] != ERROR:
+            # never a gap that re-grades. Error and degraded records are
+            # never cached (a retry must re-grade), nor is a timeout
+            # graded under a queue-shortened budget — under this key it
+            # would impersonate a full-budget verdict.
+            if record["status"] not in (ERROR, DEGRADED) and cacheable:
                 self.cache.put(key, record)
             future.set_result(record)
         except BaseException as exc:
@@ -389,6 +440,7 @@ class FeedbackService:
         "cache_hit": "cache_hits",
         "dedup": "dedup_hits",
         "graded": "graded",
+        "degraded": "degraded",
     }
 
     def _obs_handles(self) -> dict:
@@ -512,6 +564,7 @@ class FeedbackService:
             "executor": executor_info,
             "by_status": by_status,
             "avg_grade_s": round(avg_grade_s, 4),
+            "breakers": self.breakers.stats(),
             "cache": self.cache.stats,
             "problems": {
                 name: served.get(name, 0) for name in self.warmup.problems
@@ -562,6 +615,23 @@ class FeedbackService:
                 f"repro_{key}",
                 help=f"Worker pool: {key.replace('_', ' ')}",
             ).set(value)
+        breakers = self.breakers.stats()
+        registry.gauge(
+            "repro_breaker_open",
+            help="Circuit breakers currently open",
+        ).set(breakers["open"])
+        registry.gauge(
+            "repro_breaker_half_open",
+            help="Circuit breakers currently probing (half-open)",
+        ).set(breakers["half_open"])
+        registry.gauge(
+            "repro_breaker_tracked",
+            help="Circuit-breaker keys with recorded state",
+        ).set(breakers["tracked"])
+        registry.gauge(
+            "repro_breaker_opens",
+            help="Circuit-breaker open transitions since startup",
+        ).set(breakers["opened_total"])
         return render(registry.snapshot())
 
     def problems_info(self) -> list:
@@ -576,8 +646,19 @@ class FeedbackService:
             "uptime_s": round(time.monotonic() - self._started, 3),
         }
         # Process-executor pools report slot readiness (ready / warming /
-        # recycled); the thread executor has nothing to add.
-        payload.update(self._executor.health())
+        # recycled / permanently failed); the thread executor has nothing
+        # to add.
+        executor_health = self._executor.health()
+        payload.update(executor_health)
+        snapshot = self.breakers.snapshot()
+        payload["breakers_open"] = snapshot[OPEN]
+        payload["breakers_half_open"] = snapshot[HALF_OPEN]
+        # Degraded = some requests are currently answered with partial
+        # feedback or reduced capacity: an open breaker, or a retired
+        # worker slot.
+        payload["degraded"] = bool(
+            snapshot[OPEN] or executor_health.get("workers_failed", 0)
+        )
         return payload
 
     def close(self, drain: bool = True, persist: bool = True) -> None:
@@ -595,7 +676,7 @@ class FeedbackService:
         # in-flight grading a client is still owed.
         self._executor.close()
         if persist and self.cache.path is not None:
-            self.cache.save()
+            self._persist_cache()
 
     # -- internals ----------------------------------------------------------
 
@@ -605,15 +686,24 @@ class FeedbackService:
         except KeyError:
             raise UnknownProblem(problem) from None
 
+    #: Queue wear a grading may absorb before its timeout verdict stops
+    #: being cache-worthy: a timeout graded with at least ``budget -
+    #: grace`` seconds on the clock is the full-budget verdict for all
+    #: practical purposes; one graded under a materially shortened clock
+    #: is not, and must not be cached under the full-budget key.
+    _QUEUE_GRACE_S = 0.25
+
     def _admit_and_grade(
         self,
         warm,
         source: str,
         engine_name: str,
         budget: float,
-        request_id: str = "",
-        stages: Optional[Dict[str, float]] = None,
-    ) -> dict:
+        request_id: str,
+        stages: Optional[Dict[str, float]],
+        deadline: Deadline,
+        breaker_keys: Tuple[str, ...],
+    ) -> Tuple[dict, bool]:
         admit_started = time.monotonic()
         with self._lock:
             # Everything admitted but not finished: the ``jobs`` slots
@@ -636,15 +726,37 @@ class FeedbackService:
         if stages is not None:
             stages["queue_wait"] = grade_started - admit_started
         try:
+            remaining = deadline.remaining()
+            if remaining <= 0.0:
+                # The whole budget died waiting for a slot. Don't start a
+                # solve that is already over — answer with a structured
+                # timeout plus what we can still compute cheaply.
+                record = self._queue_timeout_record(warm, source)
+                self.breakers.record(breaker_keys, failure=True)
+                return record, False
+            # Ship the *remaining* budget, not the requested one: across
+            # the worker pipe monotonic instants mean nothing, so the
+            # shrunk timeout_s is the deadline's travel form. In-process
+            # executors additionally get the deadline object itself.
+            effective = min(budget, remaining)
             try:
                 record = self._executor.grade(
-                    warm.name, source, engine_name, budget, request_id
+                    warm.name, source, engine_name, effective, request_id,
+                    deadline=deadline,
                 )
             except Exception as exc:
                 # Executors return error records themselves; this catches
                 # executor-machinery failures (a dead pool, say).
                 record = error_record(warm.name, exc)
-            return record
+            self.breakers.record(
+                breaker_keys,
+                failure=record.get("status") in (TIMEOUT, ERROR),
+            )
+            cacheable = not (
+                record.get("status") == TIMEOUT
+                and remaining < budget - self._QUEUE_GRACE_S
+            )
+            return record, cacheable
         finally:
             elapsed = time.monotonic() - grade_started
             self._slots.release()
@@ -652,6 +764,50 @@ class FeedbackService:
                 self._active -= 1
                 self._avg_grade_s = 0.8 * self._avg_grade_s + 0.2 * elapsed
                 self._idle.notify_all()
+
+    def _count_degraded(self, reason: str) -> None:
+        if resolve_obs(None):
+            global_registry().counter(
+                "repro_degraded_total",
+                help="Requests short-circuited to degraded/partial "
+                "feedback, by reason",
+                labelnames=("reason",),
+            ).labels(reason=reason).inc()
+
+    def _degraded_fastfail(self, warm, source: str, blocked_key: str) -> dict:
+        """The open-breaker answer: partial feedback, no solve.
+
+        Failing tests of the submission *as written* over the verifier's
+        canonical inputs — deterministic, bounded-fuel, and computed on
+        the request thread (a few reference-table lookups plus at most a
+        handful of candidate runs; nothing like a solve).
+        """
+        failing, note = submission_failing_tests(
+            warm.spec, warm.verifier, source
+        )
+        self._count_degraded("breaker_open")
+        return degraded_record(
+            warm.name,
+            reason=f"breaker_open:{blocked_key}",
+            failing_tests=failing,
+            detail=note
+            or "circuit breaker open; served partial feedback without "
+            "a solve",
+        )
+
+    def _queue_timeout_record(self, warm, source: str) -> dict:
+        """The deadline-died-in-queue answer: structured timeout."""
+        failing, note = submission_failing_tests(
+            warm.spec, warm.verifier, source
+        )
+        self._count_degraded("deadline_exhausted_in_queue")
+        return timeout_record(
+            warm.name,
+            reason="deadline_exhausted_in_queue",
+            failing_tests=failing,
+            detail=note
+            or "request deadline expired before a grading slot freed",
+        )
 
     def _count_status(self, record: dict, counter: str) -> None:
         with self._lock:
@@ -669,4 +825,26 @@ class FeedbackService:
             if self._since_persist < self.persist_every:
                 return
             self._since_persist = 0
-        self.cache.save()
+        self._persist_cache()
+
+    def _persist_cache(self) -> None:
+        """Persist the cache, absorbing IO failure.
+
+        A full disk or yanked volume must degrade persistence, never
+        grading: the entries stay resident and the next interval retries.
+        """
+        try:
+            self.cache.save()
+        except OSError as exc:
+            emit(
+                "cache_persist_failed",
+                level=logging.ERROR,
+                path=str(self.cache.path),
+                error=f"{type(exc).__name__}: {exc}",
+            )
+            if resolve_obs(None):
+                global_registry().counter(
+                    "repro_cache_persist_failures_total",
+                    help="Result-cache persistence attempts that failed "
+                    "with an IO error (entries stay resident)",
+                ).inc()

@@ -5,8 +5,15 @@ report is valid exactly when the same problem, the same error model, the
 same solver configuration, and a behaviorally identical submission come
 back — which in classroom traffic is constantly (resubmissions, copied
 solutions, the one conceptual error half the class shares). The cache is
-in-memory with optional JSON persistence, so a long-running service, a
+in-memory with optional file persistence, so a long-running service, a
 one-shot CLI batch, and the feedback server all share the same format.
+
+Persistence is JSONL — a ``{"version": 1}`` header line followed by one
+``{"key": ..., "record": ...}`` line per entry — so a write torn by a
+crash (power loss mid-replace on filesystems that reorder, a truncated
+copy) costs at most the damaged trailing lines: load skips them, logs a
+recovery event, and keeps every intact entry. The previous single-blob
+JSON format is still read transparently.
 
 Concurrency: every entry-touching method takes an internal lock, so one
 cache instance can back many server threads; :meth:`ResultCache.save`
@@ -19,6 +26,7 @@ entries silently before).
 from __future__ import annotations
 
 import json
+import logging
 import os
 import tempfile
 import threading
@@ -26,6 +34,8 @@ import time
 from pathlib import Path
 from typing import Dict, Optional, Union
 
+from repro.obs.events import emit
+from repro.resilience import faults
 from repro.service.records import is_record
 
 _FORMAT_VERSION = 1
@@ -250,20 +260,70 @@ class ResultCache:
         """Well-formed entries from a cache file, keys normalized.
 
         Unreadable files and malformed entries are skipped (a cache must
-        never be the reason a batch fails).
+        never be the reason a batch fails). A JSONL file with damaged
+        lines — the signature of a crash-torn write — yields every
+        intact entry and logs one recovery event for the rest.
         """
         try:
-            payload = json.loads(path.read_text())
-        except (OSError, json.JSONDecodeError):
+            if faults.enabled():
+                faults.inject(
+                    "cache.read", OSError("injected cache.read fault")
+                )
+            text = path.read_text()
+        except OSError:
             return {}
-        if not isinstance(payload, dict) or payload.get("version") != _FORMAT_VERSION:
+        # Legacy format: the whole file is one JSON blob.
+        try:
+            payload = json.loads(text)
+        except json.JSONDecodeError:
+            payload = None
+        if isinstance(payload, dict):
+            if payload.get("version") != _FORMAT_VERSION:
+                return {}
+            entries = payload.get("entries", {})
+            valid: Dict[str, dict] = {}
+            if isinstance(entries, dict):
+                for key, record in entries.items():
+                    if isinstance(key, str) and is_record(record):
+                        valid[normalize_key(key)] = record
+            return valid
+        # JSONL: header line, then one entry per line.
+        valid = {}
+        dropped = 0
+        lines = [line for line in text.splitlines() if line.strip()]
+        if not lines:
             return {}
-        entries = payload.get("entries", {})
-        valid: Dict[str, dict] = {}
-        if isinstance(entries, dict):
-            for key, record in entries.items():
-                if isinstance(key, str) and is_record(record):
-                    valid[normalize_key(key)] = record
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError:
+            header = None
+        if (
+            not isinstance(header, dict)
+            or header.get("version") != _FORMAT_VERSION
+        ):
+            return {}
+        for line in lines[1:]:
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError:
+                dropped += 1
+                continue
+            if (
+                isinstance(entry, dict)
+                and isinstance(entry.get("key"), str)
+                and is_record(entry.get("record"))
+            ):
+                valid[normalize_key(entry["key"])] = entry["record"]
+            else:
+                dropped += 1
+        if dropped:
+            emit(
+                "cache_recovered",
+                level=logging.WARNING,
+                path=str(path),
+                entries=len(valid),
+                dropped_lines=dropped,
+            )
         return valid
 
     def load(self, path: Union[str, Path]) -> int:
@@ -285,19 +345,27 @@ class ResultCache:
         target = Path(path) if path is not None else self.path
         if target is None:
             raise ValueError("no cache path given")
+        if faults.enabled():
+            faults.inject("cache.write", OSError("injected cache.write fault"))
         target.parent.mkdir(parents=True, exist_ok=True)
         with self._lock:
             snapshot = dict(self._entries)
         with _FileLock(target):
             merged = self._read_entries(target) if target.exists() else {}
             merged.update(snapshot)
-            payload = {"version": _FORMAT_VERSION, "entries": merged}
             fd, tmp_name = tempfile.mkstemp(
                 dir=str(target.parent), prefix=target.name, suffix=".tmp"
             )
             try:
                 with os.fdopen(fd, "w") as handle:
-                    json.dump(payload, handle)
+                    handle.write(
+                        json.dumps({"version": _FORMAT_VERSION}) + "\n"
+                    )
+                    for key, record in merged.items():
+                        handle.write(
+                            json.dumps({"key": key, "record": record})
+                            + "\n"
+                        )
                 os.replace(tmp_name, target)
             except BaseException:
                 try:

@@ -18,10 +18,12 @@ error model must be re-graded, not served as stale reports.
 from __future__ import annotations
 
 import json
+import logging
 import os
 from pathlib import Path
 from typing import Dict, Optional, Union
 
+from repro.obs.events import emit
 from repro.service.records import is_record
 
 
@@ -46,6 +48,7 @@ class JobStore:
         completed: Dict[str, dict] = {}
         if not self.path.exists():
             return completed
+        corrupt = 0
         with self.path.open() as handle:
             for line in handle:
                 line = line.strip()
@@ -54,18 +57,31 @@ class JobStore:
                 try:
                     entry = json.loads(line)
                 except json.JSONDecodeError:
+                    corrupt += 1
                     continue
                 if not (
                     isinstance(entry, dict)
                     and isinstance(entry.get("id"), str)
                     and is_record(entry.get("report"))
                 ):
+                    corrupt += 1
                     continue
                 if key_prefix is not None and not str(
                     entry.get("key") or ""
                 ).startswith(key_prefix):
                     continue
                 completed[entry["id"]] = entry
+        if corrupt:
+            # Almost always one torn trailing line from a crash mid-
+            # append; the event makes silent data loss visible without
+            # failing the resume.
+            emit(
+                "jobstore_recovered",
+                level=logging.WARNING,
+                path=str(self.path),
+                entries=len(completed),
+                dropped_lines=corrupt,
+            )
         return completed
 
     def append(

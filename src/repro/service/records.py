@@ -24,20 +24,65 @@ RECORD_VERSION = 1
 #: never cached or persisted — a retry must re-grade, not replay the crash.
 ERROR = "error"
 
+#: Status of a request answered without a solve: an open circuit breaker
+#: (or a permanently failed worker pool) short-circuited it to partial
+#: feedback. Like errors, degraded records are never cached — the next
+#: probe must re-grade for real.
+DEGRADED = "degraded"
 
-def error_record(problem: str, exc: BaseException) -> dict:
-    """The record for a grading that raised instead of classifying."""
+#: The timeout status (mirrors :data:`repro.core.api.TIMEOUT`; spelled
+#: out here so the record layer needs no core import at use sites).
+TIMEOUT = "timeout"
+
+
+def _base_record(problem: str, status: str, detail: str) -> dict:
     return {
         "v": RECORD_VERSION,
-        "status": ERROR,
+        "status": status,
         "problem": problem,
         "cost": None,
         "minimal": False,
         "fixed_source": None,
         "wall_time": 0.0,
-        "detail": f"{type(exc).__name__}: {exc}",
+        "detail": detail,
         "items": [],
     }
+
+
+def error_record(problem: str, exc: BaseException) -> dict:
+    """The record for a grading that raised instead of classifying."""
+    return _base_record(problem, ERROR, f"{type(exc).__name__}: {exc}")
+
+
+def degraded_record(
+    problem: str,
+    reason: str,
+    failing_tests: Optional[list] = None,
+    detail: str = "",
+) -> dict:
+    """The record for a request short-circuited to partial feedback."""
+    record = _base_record(problem, DEGRADED, detail)
+    record["degraded"] = {
+        "reason": reason,
+        "failing_tests": failing_tests or [],
+    }
+    return record
+
+
+def timeout_record(
+    problem: str,
+    reason: str,
+    failing_tests: Optional[list] = None,
+    detail: str = "",
+) -> dict:
+    """A structured timeout produced *outside* the engine — the request's
+    end-to-end deadline died in the queue or at the worker boundary."""
+    record = _base_record(problem, TIMEOUT, detail)
+    record["degraded"] = {
+        "reason": reason,
+        "failing_tests": failing_tests or [],
+    }
+    return record
 
 
 def report_to_record(report: FeedbackReport) -> dict:
@@ -66,6 +111,11 @@ def report_to_record(report: FeedbackReport) -> dict:
         # key is stripped by comparable_record, so records stay
         # byte-identical under comparison with obs on or off.
         **({"metrics": report.metrics} if report.metrics is not None else {}),
+        # Degraded feedback exists on timeout/short-circuit paths only
+        # and is deterministic there (canonical-order failing tests), so
+        # it is NOT stripped — clean-path records never carry the key,
+        # which is what keeps resilience-on/off byte-identity.
+        **({"degraded": report.degraded} if report.degraded else {}),
     }
 
 
@@ -98,6 +148,7 @@ def record_to_report(record: dict) -> FeedbackReport:
         wall_time=record.get("wall_time", 0.0),
         detail=record.get("detail", ""),
         metrics=record.get("metrics"),
+        degraded=record.get("degraded"),
     )
 
 

@@ -46,6 +46,8 @@ from repro.obs import (
     snapshot_delta,
 )
 from repro.obs.events import emit
+from repro.resilience import faults
+from repro.resilience.deadline import Deadline
 from repro.service.records import error_record, report_to_record
 
 THREAD = "thread"
@@ -109,6 +111,7 @@ def grade_record(
     timeout_s: float,
     backend: Optional[str],
     explorer: Optional[bool],
+    deadline: Optional[Deadline] = None,
 ) -> dict:
     """Grade one submission against warm per-problem state → record.
 
@@ -118,8 +121,19 @@ def grade_record(
     byte-identical whichever executor ran them. A raising grading comes
     back as an error record, not an exception — one pathological
     submission must cost its own slot only.
+
+    ``deadline`` is the request's end-to-end deadline when the grading
+    runs in the requesting process; across the worker pipe only the
+    remaining seconds travel (as a shrunk ``timeout_s``) and the worker
+    restarts a local clock here.
     """
     try:
+        # Chaos seams (zero-cost disarmed): a grading that stalls, and a
+        # grading that raises — the two failure shapes every layer above
+        # must absorb without wedging a slot.
+        if faults.enabled():
+            faults.sleep_if("grade.slow")
+            faults.inject("grade.error")
         engine = engine_by_name(engine_name)
         engine.explorer = explorer
         report = generate_feedback(
@@ -130,6 +144,7 @@ def grade_record(
             timeout_s=timeout_s,
             verifier=verifier,
             backend=backend,
+            deadline=deadline,
         )
         record = report_to_record(report)
     except Exception as exc:
@@ -204,17 +219,27 @@ def _pool_worker_main(
     backend: Optional[str],
     explorer: bool,
     prime: bool,
+    faults_spec: Optional[str] = None,
 ) -> None:
     """One pool worker: warm the assigned problems, then serve the pipe.
 
     Runs in the child process. Imports of the server package happen here,
     not at module scope — :mod:`repro.server.warm` imports this package,
     and the service layer must stay importable without the server.
+
+    ``faults_spec`` is the parent's live fault plan at fork time —
+    shipped explicitly so chaos tests govern respawned workers under any
+    multiprocessing start method (module state only survives fork).
     """
     from repro.problems import get_problem
     from repro.server.warm import warm_problem
 
+    if faults_spec:
+        faults.configure(faults_spec)
     try:
+        # Chaos seam: a worker that dies during its warmup self-test —
+        # the parent must cap respawns instead of thrashing forever.
+        faults.crash("worker.warm_crash", code=32)
         if backend is not None:
             set_default_backend(backend)
         set_default_explorer(explorer)
@@ -248,6 +273,16 @@ def _pool_worker_main(
             return  # "stop" or garbage: either way, exit cleanly
         _, problem, source, request_engine, timeout_s = message[:5]
         request_id = message[5] if len(message) > 5 else ""
+        # Restart the request's deadline locally the moment the message
+        # lands: the shipped timeout_s is the budget *remaining* at
+        # dispatch, and everything from here — injected stalls included —
+        # must spend from it, not reset it.
+        deadline = Deadline.after(timeout_s)
+        if faults.enabled():
+            # Chaos seams: die mid-grade (parent sees EOF → recycle) or
+            # stall past the watchdog grace (parent sees poll timeout).
+            faults.crash("worker.crash", code=31)
+            faults.sleep_if("worker.hang")
         warm = state.get(problem)
         if warm is None:
             record = error_record(
@@ -264,6 +299,7 @@ def _pool_worker_main(
                 timeout_s,
                 backend,
                 explorer,
+                deadline=deadline,
             )
         # Ship what this grading added to the worker's registry alongside
         # the record; the parent merges it so one scrape covers the fleet.
@@ -280,6 +316,19 @@ def _pool_worker_main(
             current = global_registry().snapshot()
             delta = snapshot_delta(current, last_snapshot)
             last_snapshot = current
+        if faults.enabled():
+            # Chaos seams on the result pipe: a reply that never arrives
+            # (watchdog path) and one the parent cannot parse (recycle
+            # path). Either way this worker keeps serving — the *parent*
+            # decides its fate.
+            if faults.fired("worker.reply_drop"):
+                continue
+            if faults.fired("worker.reply_malformed"):
+                try:
+                    conn.send(("bogus",))
+                except (BrokenPipeError, OSError):
+                    return
+                continue
         try:
             conn.send(("record", record, delta))
         except (BrokenPipeError, OSError):
@@ -289,7 +338,16 @@ def _pool_worker_main(
 class _WorkerHandle:
     """Parent-side view of one worker process (one request at a time)."""
 
-    __slots__ = ("index", "problems", "process", "conn", "lock", "ready")
+    __slots__ = (
+        "index",
+        "problems",
+        "process",
+        "conn",
+        "lock",
+        "ready",
+        "warm_failures",
+        "failed",
+    )
 
     def __init__(self, index: int, problems: List[str]):
         self.index = index
@@ -299,6 +357,12 @@ class _WorkerHandle:
         self.conn = None
         self.lock = threading.Lock()
         self.ready = False
+        #: Consecutive warmup failures since the last successful warm. At
+        #: ``max_warm_failures`` the slot is marked ``failed`` and never
+        #: respawned — a problem that crashes every warmup would otherwise
+        #: thrash forks forever.
+        self.warm_failures = 0
+        self.failed = False
 
 
 class ProcessExecutor:
@@ -333,6 +397,7 @@ class ProcessExecutor:
         prime: bool = True,
         shard: bool = False,
         grace_s: Optional[float] = None,
+        max_warm_failures: int = 3,
     ):
         if workers < 1:
             raise ValueError("workers must be >= 1")
@@ -346,6 +411,8 @@ class ProcessExecutor:
         self.sharded = shard
         if grace_s is not None:
             self.grace_s = grace_s
+        #: Respawn budget for warmup crashes (see ``_WorkerHandle``).
+        self.max_warm_failures = max_warm_failures
         self._ctx = multiprocessing.get_context()
         self._recycled = 0
         self._rr = itertools.count()
@@ -382,6 +449,7 @@ class ProcessExecutor:
                 self.backend,
                 self.explorer,
                 self.prime,
+                faults.active_spec(),
             ),
             name=f"repro-grader-{handle.index}",
             daemon=True,
@@ -416,6 +484,7 @@ class ProcessExecutor:
                 f"{handle.problems}: {payload}"
             )
         handle.ready = True
+        handle.warm_failures = 0
 
     def wait_ready(self) -> None:
         """Block until every worker warmed its shard; raise on failure.
@@ -453,6 +522,38 @@ class ProcessExecutor:
             global_registry().counter(
                 "repro_worker_recycles_total",
                 help="Grading workers killed and respawned (crash/wedge)",
+            ).inc()
+
+    def _fail_permanently(self, handle: _WorkerHandle) -> None:
+        """Retire a slot whose warmups keep dying (caller holds its lock).
+
+        No respawn: ``max_warm_failures`` consecutive warm crashes mean
+        the next fork would crash too. The slot drops out of routing and
+        ``/healthz`` reports it until the process restarts.
+        """
+        process = handle.process
+        if process is not None and process.is_alive():
+            process.kill()
+            process.join(5.0)
+        if handle.conn is not None:
+            handle.conn.close()
+            handle.conn = None
+        handle.ready = False
+        handle.failed = True
+        emit(
+            "worker_failed_permanently",
+            level=logging.ERROR,
+            worker=handle.index,
+            warm_failures=handle.warm_failures,
+            problems=list(handle.problems),
+        )
+        if resolve_obs(None):
+            global_registry().counter(
+                "repro_worker_permanent_failures_total",
+                help=(
+                    "Grading workers retired after repeated warmup "
+                    "failures (never respawned)"
+                ),
             ).inc()
 
     def close(self) -> None:
@@ -500,9 +601,15 @@ class ProcessExecutor:
         fairness comes from the service's admission gate, which bounds
         how many requests contend here.
         """
-        eligible = self._routes.get(problem)
-        if not eligible:
+        routed = self._routes.get(problem)
+        if not routed:
             raise KeyError(f"no grading worker warms problem {problem!r}")
+        eligible = [handle for handle in routed if not handle.failed]
+        if not eligible:
+            raise RuntimeError(
+                f"all grading workers for {problem!r} have permanently "
+                "failed (warmup crash cap reached); restart the server"
+            )
         offset = next(self._rr)
         count = len(eligible)
         for only_ready in (True, False):
@@ -527,8 +634,15 @@ class ProcessExecutor:
         engine_name: str,
         timeout_s: float,
         request_id: str = "",
+        deadline: Optional[Deadline] = None,
     ) -> dict:
-        """Dispatch one grading to a worker owning ``problem``."""
+        """Dispatch one grading to a worker owning ``problem``.
+
+        ``deadline`` is accepted for executor-contract parity but unused
+        here: monotonic instants do not cross process boundaries, so the
+        service ships the *remaining* budget as a shrunk ``timeout_s``
+        and the worker restarts a local clock.
+        """
         handle = self._acquire(problem)
         window = max(0.0, timeout_s) + self.grace_s
         try:
@@ -546,10 +660,22 @@ class ProcessExecutor:
                 except (EOFError, RuntimeError, OSError) as exc:
                     # Warmup failed outright (reported failure, or the
                     # worker died mid-warm and the pipe hit EOF): this
-                    # worker will never serve; replace it and report the
-                    # loss. Ordering matters — TimeoutError is an
-                    # OSError, so the leave-it-alone case is caught
-                    # above.
+                    # worker will never serve as-is. Ordering matters —
+                    # TimeoutError is an OSError, so the leave-it-alone
+                    # case is caught above. Respawn up to the cap; past
+                    # it the slot is retired for good (a deterministic
+                    # warm crash would thrash forks forever).
+                    handle.warm_failures += 1
+                    if handle.warm_failures >= self.max_warm_failures:
+                        self._fail_permanently(handle)
+                        return error_record(
+                            problem,
+                            RuntimeError(
+                                f"grading worker {handle.index} failed "
+                                f"warmup {handle.warm_failures} times and "
+                                f"was permanently retired ({exc})"
+                            ),
+                        )
                     self._recycle(handle)
                     return error_record(problem, exc)
             try:
@@ -565,16 +691,29 @@ class ProcessExecutor:
                 )
                 if handle.conn.poll(window):
                     reply = handle.conn.recv()
-                    kind, record = reply[0], reply[1]
-                    if kind == "record":
+                    if (
+                        isinstance(reply, tuple)
+                        and len(reply) >= 2
+                        and reply[0] == "record"
+                        and isinstance(reply[1], dict)
+                    ):
                         # Fold the worker's per-request metric delta into
                         # this process's registry: /metrics and /stats in
                         # the parent then cover work done fleet-wide.
                         if len(reply) > 2 and reply[2]:
                             global_registry().merge(reply[2])
-                        return record
-                    raise RuntimeError(
-                        f"unexpected worker reply {kind!r}"
+                        return reply[1]
+                    # A reply the parent cannot parse means the worker's
+                    # pipe framing can no longer be trusted — recycle it
+                    # rather than raise through the service layer.
+                    self._recycle(handle)
+                    return error_record(
+                        problem,
+                        RuntimeError(
+                            f"grading worker {handle.index} sent a "
+                            f"malformed reply ({reply!r:.80}); worker "
+                            "recycled"
+                        ),
                     )
             except (EOFError, BrokenPipeError, ConnectionResetError, OSError) as exc:
                 # The worker died mid-request; the submission's grading is
@@ -625,11 +764,13 @@ class ProcessExecutor:
         in may briefly count as warming, never the reverse for long.
         """
         ready = sum(1 for handle in self._workers if handle.ready)
+        failed = sum(1 for handle in self._workers if handle.failed)
         with self._state_lock:
             recycled = self._recycled
         return {
             "workers": self.workers,
             "workers_ready": ready,
-            "workers_warming": self.workers - ready,
+            "workers_warming": self.workers - ready - failed,
+            "workers_failed": failed,
             "workers_recycled": recycled,
         }

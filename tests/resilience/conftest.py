@@ -1,0 +1,18 @@
+"""Shared fixtures for the resilience suite.
+
+Fault plans are process-global by design (the seams must be reachable
+from any layer without threading a handle through), so every test gets
+a clean disarm before and after — a leaked plan would silently chaos
+the rest of the run.
+"""
+
+import pytest
+
+from repro.resilience import faults
+
+
+@pytest.fixture(autouse=True)
+def disarmed_faults():
+    faults.reset()
+    yield
+    faults.reset()

@@ -1,0 +1,156 @@
+"""Circuit-breaker unit tests: transitions, board admission, reporting."""
+
+import pytest
+
+from repro.resilience.breaker import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    BreakerBoard,
+    CircuitBreaker,
+)
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold_consecutive_failures(self):
+        breaker = CircuitBreaker(threshold=3, reset_s=30.0)
+        breaker.record_failure(now=0.0)
+        breaker.record_failure(now=0.0)
+        assert breaker.state == CLOSED
+        assert breaker.allow(now=1.0)
+        breaker.record_failure(now=2.0)
+        assert breaker.state == OPEN
+        assert not breaker.allow(now=3.0)
+        assert breaker.opened_total == 1
+
+    def test_success_resets_the_failure_run(self):
+        breaker = CircuitBreaker(threshold=2, reset_s=30.0)
+        breaker.record_failure(now=0.0)
+        breaker.record_success()
+        breaker.record_failure(now=1.0)
+        # Non-consecutive failures never open.
+        assert breaker.state == CLOSED
+
+    def test_reset_window_elapses_to_half_open_probe(self):
+        breaker = CircuitBreaker(threshold=1, reset_s=10.0)
+        breaker.record_failure(now=0.0)
+        assert not breaker.allow(now=5.0)
+        assert breaker.allow(now=10.0)  # the caller becomes the probe
+        assert breaker.state == HALF_OPEN
+        # Probe in flight: nobody else gets through.
+        assert not breaker.allow(now=11.0)
+
+    def test_half_open_failure_reopens_the_clock(self):
+        breaker = CircuitBreaker(threshold=5, reset_s=10.0)
+        for _ in range(5):
+            breaker.record_failure(now=0.0)
+        assert breaker.allow(now=10.0)
+        breaker.record_failure(now=10.0)  # the probe failed
+        assert breaker.state == OPEN
+        assert not breaker.allow(now=15.0)
+        assert breaker.allow(now=20.0)
+        assert breaker.opened_total == 2
+
+    def test_half_open_success_closes(self):
+        breaker = CircuitBreaker(threshold=1, reset_s=10.0)
+        breaker.record_failure(now=0.0)
+        assert breaker.allow(now=10.0)
+        breaker.record_success()
+        assert breaker.state == CLOSED
+        assert breaker.allow(now=10.0)
+
+
+class TestBreakerBoard:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BreakerBoard(threshold=-1)
+        with pytest.raises(ValueError):
+            BreakerBoard(reset_s=0.0)
+
+    def test_threshold_zero_disables_everything(self):
+        board = BreakerBoard(threshold=0)
+        assert not board.enabled
+        for _ in range(50):
+            board.record(["problem:p"], failure=True)
+        assert board.admit(["problem:p"]) == (True, None)
+        assert board.snapshot() == {OPEN: [], HALF_OPEN: []}
+        assert board.stats()["tracked"] == 0
+
+    def test_opens_per_key_and_blocks_admission(self):
+        board = BreakerBoard(threshold=2, reset_s=60.0)
+        keys = ["problem:p", "hash:p:abc"]
+        assert board.admit(keys) == (True, None)
+        board.record(keys, failure=True)
+        board.record(keys, failure=True)
+        allowed, blocked = board.admit(keys)
+        assert not allowed
+        assert blocked in keys
+        # A different submission of the same problem is blocked by the
+        # problem key alone.
+        allowed, blocked = board.admit(["problem:p", "hash:p:other"])
+        assert not allowed
+        assert blocked == "problem:p"
+
+    def test_success_closes_and_admits_again(self):
+        board = BreakerBoard(threshold=1, reset_s=0.05)
+        keys = ["problem:p"]
+        board.record(keys, failure=True)
+        assert board.admit(keys)[0] is False
+        import time
+
+        time.sleep(0.06)
+        assert board.admit(keys) == (True, None)  # the half-open probe
+        board.record(keys, failure=False)
+        assert board.admit(keys) == (True, None)
+        assert board.snapshot() == {OPEN: [], HALF_OPEN: []}
+
+    def test_half_open_admits_exactly_one_probe(self):
+        board = BreakerBoard(threshold=1, reset_s=0.02)
+        board.record(["k"], failure=True)
+        import time
+
+        time.sleep(0.03)
+        assert board.admit(["k"]) == (True, None)
+        # The probe is in flight: a second caller is vetoed until the
+        # probe's outcome is recorded.
+        assert board.admit(["k"])[0] is False
+
+    def test_admit_is_all_or_nothing(self):
+        """A later key's veto must not burn an earlier key's probe."""
+        board = BreakerBoard(threshold=1, reset_s=0.02)
+        board.record(["a"], failure=True)
+        board.record(["b"], failure=True)
+        import time
+
+        time.sleep(0.03)
+        # a's window elapsed; hold b open by failing it again just now.
+        board.record(["b"], failure=True)
+        allowed, blocked = board.admit(["a", "b"])
+        assert not allowed and blocked == "b"
+        # a was *peeked*, not transitioned: it still has its probe to
+        # give, so admitting a alone succeeds.
+        assert board.admit(["a"]) == (True, None)
+
+    def test_snapshot_reports_effective_state(self):
+        board = BreakerBoard(threshold=1, reset_s=0.02)
+        board.record(["k"], failure=True)
+        assert board.snapshot()[OPEN] == ["k"]
+        import time
+
+        time.sleep(0.03)
+        # Window elapsed but no probe sent yet: the *effective* state is
+        # half-open — the next request would be the probe.
+        snap = board.snapshot()
+        assert snap[OPEN] == [] and snap[HALF_OPEN] == ["k"]
+
+    def test_stats_payload(self):
+        board = BreakerBoard(threshold=1, reset_s=60.0)
+        board.record(["a"], failure=True)
+        board.record(["b"], failure=False)
+        stats = board.stats()
+        assert stats["enabled"] is True
+        assert stats["threshold"] == 1
+        assert stats["tracked"] == 2
+        assert stats["open"] == 1
+        assert stats["half_open"] == 0
+        assert stats["opened_total"] == 1

@@ -1,0 +1,106 @@
+"""Degraded-mode feedback: the no-solve failing-tests sweep."""
+
+import time
+
+import pytest
+
+from repro.problems import get_problem
+from repro.resilience.degrade import submission_failing_tests
+from repro.server.warm import warm_problem
+
+BUGGY = """def iterPower(base, exp):
+    result = 0
+    for i in range(exp):
+        result = result * base
+    return result
+"""
+
+CORRECT = """def iterPower(base, exp):
+    result = 1
+    for i in range(exp):
+        result = result * base
+    return result
+"""
+
+LOOPY = """def iterPower(base, exp):
+    result = 1
+    while exp > 0:
+        result = result * base
+    return result
+"""
+
+
+@pytest.fixture(scope="module")
+def warm():
+    return warm_problem(get_problem("iterPower-6.00x"), prime=False)
+
+
+class TestFailingTestsSweep:
+    def test_buggy_submission_yields_bounded_rows(self, warm):
+        tests, note = submission_failing_tests(warm.spec, warm.verifier, BUGGY)
+        assert note == ""
+        assert 0 < len(tests) <= 3
+        for row in tests:
+            assert set(row) == {"input", "expected", "got"}
+            assert isinstance(row["input"], str)
+
+    def test_correct_submission_yields_no_rows(self, warm):
+        tests, note = submission_failing_tests(
+            warm.spec, warm.verifier, CORRECT
+        )
+        assert tests == [] and note == ""
+
+    def test_sweep_is_deterministic(self, warm):
+        first = submission_failing_tests(warm.spec, warm.verifier, BUGGY)
+        second = submission_failing_tests(warm.spec, warm.verifier, BUGGY)
+        assert first == second
+
+    def test_infinite_loop_fails_fast_on_candidate_fuel(self, warm):
+        # The sweep runs under the verifier's calibrated candidate fuel,
+        # so a non-terminating submission costs microseconds per input,
+        # not the spec's full interpreter budget.
+        started = time.monotonic()
+        tests, note = submission_failing_tests(warm.spec, warm.verifier, LOOPY)
+        assert time.monotonic() - started < 2.0
+        assert note == ""
+        assert tests  # every input diverges from the reference
+
+    def test_limit_and_max_inputs_are_honored(self, warm):
+        tests, _ = submission_failing_tests(
+            warm.spec, warm.verifier, BUGGY, limit=1
+        )
+        assert len(tests) == 1
+
+
+class TestUnrunnableSubmissions:
+    def test_syntax_error_yields_note(self, warm):
+        tests, note = submission_failing_tests(
+            warm.spec, warm.verifier, "def iterPower(base, exp:\n    pass"
+        )
+        assert tests == []
+        assert note != ""
+
+    def test_bad_signature_yields_note(self, warm):
+        tests, note = submission_failing_tests(
+            warm.spec, warm.verifier, "def somethingElse(x):\n    return x"
+        )
+        assert tests == []
+        assert "signature" in note
+
+    def test_top_level_crash_still_yields_feedback(self, warm):
+        # Depending on the backend a crashing top level surfaces at
+        # executor build (→ note) or per call (→ failing rows with an
+        # error outcome); either way the student gets *something*.
+        source = "boom = 1 // 0\ndef iterPower(base, exp):\n    return 1"
+        tests, note = submission_failing_tests(warm.spec, warm.verifier, source)
+        assert tests or note
+
+    def test_sweep_never_raises(self, warm):
+        # Garbage in every shape: the degraded path is the *fallback*,
+        # an exception here would turn a partial answer into none.
+        for source in ("", "   ", "x = ]", "def iterPower: pass"):
+            tests, note = submission_failing_tests(
+                warm.spec, warm.verifier, source
+            )
+            assert tests == []
+            assert isinstance(note, str)

@@ -1,0 +1,153 @@
+"""Crash-torn persistence recovery: a write cut at *any* byte must cost
+at most the damaged trailing record, never the file.
+
+Both stores are swept the same way: write a known-good file, then
+truncate it at every byte offset inside the last record and assert every
+earlier entry still loads (with a recovery event, not an exception).
+"""
+
+import json
+import logging
+
+import pytest
+
+from repro.service.cache import ResultCache
+from repro.service.jobstore import JobStore
+from repro.service.records import RECORD_VERSION
+
+
+def make_record(status="fixed", detail=""):
+    return {
+        "v": RECORD_VERSION,
+        "status": status,
+        "problem": "p",
+        "detail": detail,
+        "items": [],
+    }
+
+
+KEYS = ["key-a", "key-b", "key-c"]
+
+
+@pytest.fixture
+def cache_file(tmp_path):
+    path = tmp_path / "cache.json"
+    cache = ResultCache(path)
+    for key in KEYS:
+        cache.put(key, make_record(detail=key))
+    cache.save()
+    return path
+
+
+class TestResultCacheRecovery:
+    def test_round_trip(self, cache_file):
+        cache = ResultCache(cache_file)
+        assert len(cache) == 3
+        assert cache.peek("key-b")["detail"] == "key-b"
+
+    def test_file_is_versioned_jsonl(self, cache_file):
+        lines = cache_file.read_text().splitlines()
+        assert json.loads(lines[0]) == {"version": 1}
+        assert len(lines) == 1 + len(KEYS)
+        for line in lines[1:]:
+            entry = json.loads(line)
+            assert set(entry) == {"key", "record"}
+
+    def test_truncation_at_every_byte_of_the_last_record(
+        self, cache_file, caplog
+    ):
+        data = cache_file.read_bytes()
+        assert data.endswith(b"\n")
+        last_start = data.rfind(b"\n", 0, len(data) - 1) + 1
+        last_line = data[last_start:].rstrip(b"\n")
+        surviving_key = json.loads(last_line)["key"]
+        others = [key for key in KEYS if key != surviving_key]
+        for cut in range(last_start, len(data)):
+            cache_file.write_bytes(data[:cut])
+            with caplog.at_level(logging.WARNING, logger="repro.obs"):
+                cache = ResultCache(cache_file)
+            # Every entry before the torn line survives, always.
+            for key in others:
+                assert cache.peek(key) is not None, f"lost {key} at cut {cut}"
+            torn = cache.peek(surviving_key) is None
+            # The only way the last entry survives is an intact line.
+            intact = cut >= last_start + len(last_line)
+            assert torn != intact
+            if torn and cut > last_start:
+                assert "cache_recovered" in caplog.text
+            caplog.clear()
+
+    def test_legacy_blob_format_still_reads(self, tmp_path):
+        path = tmp_path / "legacy.json"
+        path.write_text(
+            json.dumps(
+                {"version": 1, "entries": {"old-key": make_record()}}
+            )
+        )
+        cache = ResultCache(path)
+        assert cache.peek("old-key") is not None
+
+    def test_unknown_version_loads_nothing(self, tmp_path):
+        blob = tmp_path / "future-blob.json"
+        blob.write_text(json.dumps({"version": 99, "entries": {}}))
+        assert ResultCache(blob).stats["entries"] == 0
+        jsonl = tmp_path / "future.jsonl"
+        jsonl.write_text(
+            json.dumps({"version": 99})
+            + "\n"
+            + json.dumps({"key": "k", "record": make_record()})
+            + "\n"
+        )
+        assert ResultCache(jsonl).stats["entries"] == 0
+
+    def test_invalid_entry_lines_are_dropped_not_fatal(self, tmp_path):
+        path = tmp_path / "mixed.json"
+        path.write_text(
+            json.dumps({"version": 1})
+            + "\n"
+            + json.dumps({"key": "good", "record": make_record()})
+            + "\n"
+            + json.dumps({"key": "bad-shape", "record": {"not": "a record"}})
+            + "\n"
+            + "{torn garbage\n"
+        )
+        cache = ResultCache(path)
+        assert len(cache) == 1
+        assert cache.peek("good") is not None
+
+
+class TestJobStoreRecovery:
+    @pytest.fixture
+    def store_file(self, tmp_path):
+        path = tmp_path / "jobs.jsonl"
+        store = JobStore(path)
+        for index, key in enumerate(KEYS):
+            store.append(f"sub-{index}", make_record(detail=key), key=key)
+        return path
+
+    def test_round_trip(self, store_file):
+        completed = JobStore(store_file).load()
+        assert sorted(completed) == ["sub-0", "sub-1", "sub-2"]
+
+    def test_truncation_at_every_byte_of_the_last_record(
+        self, store_file, caplog
+    ):
+        data = store_file.read_bytes()
+        last_start = data.rfind(b"\n", 0, len(data) - 1) + 1
+        last_len = len(data[last_start:].rstrip(b"\n"))
+        for cut in range(last_start, len(data)):
+            store_file.write_bytes(data[:cut])
+            with caplog.at_level(logging.WARNING, logger="repro.obs"):
+                completed = JobStore(store_file).load()
+            assert "sub-0" in completed and "sub-1" in completed
+            torn = "sub-2" not in completed
+            assert torn != (cut >= last_start + last_len)
+            if torn and cut > last_start:
+                assert "jobstore_recovered" in caplog.text
+            caplog.clear()
+
+    def test_later_lines_supersede_earlier_ones(self, store_file):
+        store = JobStore(store_file)
+        store.append("sub-0", make_record(status="no_fix"), key="key-a")
+        completed = store.load()
+        assert completed["sub-0"]["report"]["status"] == "no_fix"

@@ -224,3 +224,119 @@ def test_retry_after_json_field_wins_over_header(scripted):
     with pytest.raises(ServerError) as rejected:
         client.grade("p", "src")
     assert rejected.value.retry_after_s == 3
+
+
+# -- grade_with_retry: bounded exponential backoff with full jitter -----------
+
+
+def _error_response(status: int, reason: str, body: dict) -> bytes:
+    payload = json.dumps(body).encode()
+    return (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        "Content-Type: application/json\r\n"
+        f"Content-Length: {len(payload)}\r\n\r\n"
+    ).encode() + payload
+
+
+_QUEUE_FULL = _error_response(
+    429, "Too Many Requests", {"error": "queue full", "retry_after_s": 1.5}
+)
+_QUEUE_FULL_NO_HINT = _error_response(
+    429, "Too Many Requests", {"error": "queue full"}
+)
+_BAD_REQUEST = _error_response(400, "Bad Request", {"error": "no source"})
+
+
+def test_retry_succeeds_after_429_and_honors_the_hint(scripted):
+    server = scripted(_QUEUE_FULL, "respond")
+    client = FeedbackClient(port=server.port, timeout_s=10)
+    sleeps = []
+    result = client.grade_with_retry(
+        "p", "src", sleep=sleeps.append, rng=lambda: 0.0
+    )
+    assert result == {"ok": True}
+    # Zero jitter would mean an instant return — the server's hint is
+    # the floor.
+    assert sleeps == [1.5]
+    assert server.requests_received == 2
+    client.close()
+
+
+def test_retry_jitter_is_bounded_by_the_exponential_ceiling(scripted):
+    server = scripted(
+        _QUEUE_FULL_NO_HINT, _QUEUE_FULL_NO_HINT, "respond"
+    )
+    client = FeedbackClient(port=server.port, timeout_s=10)
+    sleeps = []
+    result = client.grade_with_retry(
+        "p",
+        "src",
+        base_delay_s=0.5,
+        sleep=sleeps.append,
+        rng=lambda: 1.0,  # worst-case jitter: the full ceiling
+    )
+    assert result == {"ok": True}
+    assert sleeps == [0.5, 1.0]  # base * 2**attempt
+    client.close()
+
+
+def test_retry_delay_is_capped_by_max_delay(scripted):
+    server = scripted(_QUEUE_FULL_NO_HINT, "respond")
+    client = FeedbackClient(port=server.port, timeout_s=10)
+    sleeps = []
+    client.grade_with_retry(
+        "p",
+        "src",
+        base_delay_s=50.0,
+        max_delay_s=2.0,
+        sleep=sleeps.append,
+        rng=lambda: 1.0,
+    )
+    assert sleeps == [2.0]
+    client.close()
+
+
+def test_retry_hint_is_capped_by_max_delay(scripted):
+    # retry_after_s=1.5 > max_delay_s=1.0: the client must not honor a
+    # hint past its own ceiling.
+    server = scripted(_QUEUE_FULL, "respond")
+    client = FeedbackClient(port=server.port, timeout_s=10)
+    sleeps = []
+    client.grade_with_retry(
+        "p", "src", max_delay_s=1.0, sleep=sleeps.append, rng=lambda: 0.0
+    )
+    assert sleeps == [1.0]
+    client.close()
+
+
+def test_client_errors_are_not_retried(scripted):
+    server = scripted(_BAD_REQUEST, "respond")
+    client = FeedbackClient(port=server.port, timeout_s=10)
+    sleeps = []
+    with pytest.raises(ServerError) as rejected:
+        client.grade_with_retry("p", "src", sleep=sleeps.append)
+    assert rejected.value.status == 400
+    assert sleeps == []
+    assert server.requests_received == 1
+    client.close()
+
+
+def test_retry_attempts_exhaust_and_the_last_error_propagates(scripted):
+    server = scripted(_QUEUE_FULL, _QUEUE_FULL, _QUEUE_FULL)
+    client = FeedbackClient(port=server.port, timeout_s=10)
+    sleeps = []
+    with pytest.raises(ServerError) as rejected:
+        client.grade_with_retry(
+            "p", "src", max_attempts=3, sleep=sleeps.append, rng=lambda: 0.0
+        )
+    assert rejected.value.status == 429
+    # Two backoffs, then the third failure is surfaced, not slept on.
+    assert len(sleeps) == 2
+    assert server.requests_received == 3
+    client.close()
+
+
+def test_retry_validates_max_attempts():
+    client = FeedbackClient(port=1)
+    with pytest.raises(ValueError):
+        client.grade_with_retry("p", "src", max_attempts=0)
