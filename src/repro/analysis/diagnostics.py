@@ -1,0 +1,119 @@
+"""Shared diagnostic shape for the static-analysis layer.
+
+Both the EML linter and the submission triage emit the same thing: a
+source-positioned finding with a severity, a stable machine code, and a
+human message. Keeping one dataclass (and one JSON shape) means the CLI,
+the triage records, and the test fixtures all speak the same format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+#: Severity levels, weakest first. ``ERROR`` findings make ``repro-feedback
+#: lint`` exit non-zero; ``WARNING`` findings fail the registry-lints-clean
+#: tier-1 test; ``INFO`` is advisory (e.g. candidate-space estimates).
+INFO = "info"
+WARNING = "warning"
+ERROR = "error"
+
+_SEVERITY_RANK = {INFO: 0, WARNING: 1, ERROR: 2}
+
+
+def severity_rank(severity: str) -> int:
+    return _SEVERITY_RANK[severity]
+
+
+@dataclass(frozen=True)
+class Diagnostic:
+    """One finding: where, how bad, which check, and what it says."""
+
+    severity: str
+    code: str
+    message: str
+    #: 1-based line in the analyzed source (``.eml`` document or student
+    #: submission); None when the finding has no single anchor.
+    line: Optional[int] = None
+    #: The rule (linter) the finding is about, if any.
+    rule: Optional[str] = None
+
+    def to_json(self) -> dict:
+        out = {
+            "severity": self.severity,
+            "code": self.code,
+            "message": self.message,
+        }
+        if self.line is not None:
+            out["line"] = self.line
+        if self.rule is not None:
+            out["rule"] = self.rule
+        return out
+
+    def render(self, source_name: str = "") -> str:
+        where = source_name or "<model>"
+        if self.line is not None:
+            where = f"{where}:{self.line}"
+        subject = f" [{self.rule}]" if self.rule else ""
+        return (
+            f"{where}: {self.severity}: {self.code}{subject}: {self.message}"
+        )
+
+
+@dataclass
+class LintReport:
+    """All findings for one model, plus enough context to render them."""
+
+    model: str
+    source_name: str = ""
+    diagnostics: List[Diagnostic] = field(default_factory=list)
+
+    def extend(self, findings: List[Diagnostic]) -> None:
+        self.diagnostics.extend(findings)
+
+    def count(self, severity: str) -> int:
+        return sum(1 for d in self.diagnostics if d.severity == severity)
+
+    @property
+    def errors(self) -> int:
+        return self.count(ERROR)
+
+    @property
+    def warnings(self) -> int:
+        return self.count(WARNING)
+
+    def worst(self) -> Optional[str]:
+        if not self.diagnostics:
+            return None
+        return max(
+            (d.severity for d in self.diagnostics), key=severity_rank
+        )
+
+    def sorted(self) -> List[Diagnostic]:
+        return sorted(
+            self.diagnostics,
+            key=lambda d: (
+                d.line if d.line is not None else 0,
+                -severity_rank(d.severity),
+                d.code,
+                d.message,
+            ),
+        )
+
+    def to_json(self) -> dict:
+        return {
+            "model": self.model,
+            "source": self.source_name,
+            "errors": self.errors,
+            "warnings": self.warnings,
+            "diagnostics": [d.to_json() for d in self.sorted()],
+        }
+
+    def render(self) -> str:
+        lines = [d.render(self.source_name) for d in self.sorted()]
+        summary = (
+            f"{self.model}: {self.errors} error(s), "
+            f"{self.warnings} warning(s), "
+            f"{self.count(INFO)} info"
+        )
+        return "\n".join(lines + [summary])

@@ -1,0 +1,650 @@
+"""Static lint over parsed EML error models.
+
+Every check here answers a question an instructor faces while authoring a
+model, before anyone pays solver time:
+
+``malformed-rule`` (ERROR)
+    Definition 1/2 violations — :mod:`repro.eml.wellformed`'s checks,
+    surfaced as positioned diagnostics instead of a bare exception on the
+    first offender.
+``duplicate-rule`` (WARNING)
+    Two rules α-equivalent up to metavariable renaming: the second one
+    only duplicates correction alternatives the first already generates.
+``shadowed-rule`` (WARNING)
+    A rule whose every concrete instance is matched by a strictly more
+    general rule *with the same rewrite* — the shadowed rule adds no
+    alternative the general one doesn't.
+``zero-cost-rule`` (WARNING)
+    A rule whose RHS is α-equal to its LHS: the transformer drops
+    identity alternatives, so the rule generates nothing at all.
+``ill-typed-rewrite`` (WARNING)
+    An expression rule whose two sides have *different known* coarse
+    types under :mod:`repro.eml.typeinfer` — the rewrite can only ever
+    produce type-confused candidates.
+``dead-rule`` (WARNING)
+    A rule whose LHS matches nothing in the paired reference program,
+    its known-correct variants, or any other rule's RHS output — it can
+    never fire for this problem.
+``candidate-space`` (INFO) / ``candidate-space-blowup`` (WARNING)
+    The log10 size of the correction space the model induces on the
+    reference program (product of hole arities): the static predictor of
+    sketch blowup.
+
+Subsumption between rule patterns is tested by *concretization*: replace
+the narrower rule's metavariables by opaque witnesses (a fresh variable,
+a large prime literal, an uninterpreted call) and ask the matcher whether
+the wider LHS matches the result. Operator wildcards (``anycmp`` /
+``anyarith``) are concretized twice with different operators; both
+instances must match, so a literal-operator pattern can never fake
+generality.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import replace
+from typing import Dict, List, Optional, Tuple
+
+from repro.analysis.diagnostics import (
+    ERROR,
+    INFO,
+    WARNING,
+    Diagnostic,
+    LintReport,
+)
+from repro.eml.errors import EMLError
+from repro.eml.matcher import match
+from repro.eml.parser import parse_error_model
+from repro.eml.rules import (
+    AnyArgs,
+    ArithSet,
+    CmpSet,
+    ErrorModel,
+    FreeSet,
+    InsertTopRule,
+    Prime,
+    RewriteRule,
+    ScopeVars,
+    metavar_kind,
+)
+from repro.eml.transform import apply_error_model
+from repro.eml.typeinfer import CoarseType, TypeEnv, infer_expr
+from repro.eml.wellformed import EMLWellFormednessError, check_rule
+from repro.mpy import nodes as N
+from repro.mpy import parse_program
+from repro.mpy.errors import FrontendError
+from repro.tilde.nodes import collect_choices
+
+#: log10 candidate-space size past which the INFO estimate escalates to a
+#: WARNING. The largest registry model (stockMarket2 on its reference,
+#: ~10^20 candidates over 33 holes) still solves because exploration
+#: prunes cube-wise, so the budget sits a few orders of magnitude past
+#: the registry's worst — the estimate flags runaway authoring (say, an
+#: anycmp rule applied to a comparison-heavy program), not Table 1.
+CANDIDATE_SPACE_WARN_LOG10 = 24.0
+
+_MARKER_TYPES = (Prime, ScopeVars, FreeSet, CmpSet, ArithSet, AnyArgs)
+
+
+def _has_markers(node: Optional[N.Node]) -> bool:
+    if node is None:
+        return False
+    for sub in node.walk():
+        if isinstance(sub, _MARKER_TYPES):
+            return True
+        if isinstance(sub, N.Compare) and sub.op == "?cmp":
+            return True
+        if isinstance(sub, N.BinOp) and sub.op == "?arith":
+            return True
+    return False
+
+
+# ---------------------------------------------------------------------------
+# α-canonicalization (duplicate / zero-cost detection)
+# ---------------------------------------------------------------------------
+
+
+def _alpha_canon(node: Optional[N.Node], mapping: Dict[str, str]) -> object:
+    """Rename metavariables to kind-tagged positional names.
+
+    The mapping is shared across a rule's two sides so ``v + n -> v - n``
+    and ``v3 + n1 -> v3 - n1`` canonicalize identically.
+    """
+    if node is None:
+        return None
+
+    def canon_name(name: str) -> str:
+        kind = metavar_kind(name)
+        if kind is None:
+            return name
+        if name not in mapping:
+            mapping[name] = f"§{kind}{len(mapping)}"
+        return mapping[name]
+
+    def rebuild(n: N.Node) -> N.Node:
+        n = N.map_children(n, rebuild)
+        if isinstance(n, N.Var):
+            renamed = canon_name(n.name)
+            if renamed != n.name:
+                return replace(n, name=renamed)
+        elif isinstance(n, (Prime, ScopeVars)):
+            renamed = canon_name(n.binding)
+            if renamed != n.binding:
+                return replace(n, binding=renamed)
+        return n
+
+    return rebuild(node)
+
+
+def _alpha_key(rule: RewriteRule) -> Tuple[object, object]:
+    mapping: Dict[str, str] = {}
+    return (_alpha_canon(rule.lhs, mapping), _alpha_canon(rule.rhs, mapping))
+
+
+# ---------------------------------------------------------------------------
+# Concretization (subsumption / dead-rule detection)
+# ---------------------------------------------------------------------------
+
+#: Two operator assignments for wildcard concretization; a pattern only
+#: subsumes a wildcard if it matches under *both*.
+_OP_VARIANTS = (("==", "+"), ("<", "*"))
+
+
+def _concretize(
+    node: N.Node, witnesses: Dict[str, N.Expr], ops: Tuple[str, str]
+) -> N.Node:
+    """Replace metavariables by opaque witnesses and wildcard ops by ``ops``.
+
+    ``witnesses`` persists across calls so a rule's RHS reuses the
+    witnesses its LHS introduced.
+    """
+
+    def witness(name: str, kind: str) -> N.Expr:
+        if name not in witnesses:
+            index = len(witnesses)
+            if kind == "var":
+                witnesses[name] = N.Var(name=f"__w{index}__")
+            elif kind == "int":
+                witnesses[name] = N.IntLit(value=7919 + index)
+            else:  # expr: an uninterpreted call — neither a Var nor a literal
+                witnesses[name] = N.Call(func=N.Var(name=f"__wf{index}__"))
+        return witnesses[name]
+
+    def rebuild(n: N.Node) -> N.Node:
+        n = N.map_children(n, rebuild)
+        if isinstance(n, N.Var):
+            kind = metavar_kind(n.name)
+            if kind is not None:
+                return witness(n.name, kind)
+        elif isinstance(n, N.Compare) and n.op == "?cmp":
+            return replace(n, op=ops[0])
+        elif isinstance(n, N.BinOp) and n.op == "?arith":
+            return replace(n, op=ops[1])
+        return n
+
+    return rebuild(node)
+
+
+def _substitute(node: N.Node, bindings: Dict[str, object]) -> N.Node:
+    """Instantiate a marker-free RHS under matcher bindings."""
+
+    def rebuild(n: N.Node) -> N.Node:
+        n = N.map_children(n, rebuild)
+        if isinstance(n, N.Var) and n.name in bindings:
+            bound = bindings[n.name]
+            if isinstance(bound, N.Node):
+                return bound
+        return n
+
+    return rebuild(node)
+
+
+def _single_alternative(rhs: Optional[N.Node]) -> Optional[N.Node]:
+    """A rule RHS reduced to its sole rewrite, when it has exactly one.
+
+    The parser wraps every expression RHS in a :class:`FreeSet`; a
+    one-element set *is* that element, so unwrapping it keeps the rule
+    eligible for the marker-free equivalence decision below.
+    """
+    if isinstance(rhs, FreeSet) and len(rhs.elements) == 1:
+        return rhs.elements[0]
+    return rhs
+
+
+def _subsumes(wide: RewriteRule, narrow: RewriteRule) -> bool:
+    """True when every concrete instance of ``narrow``'s LHS matches
+    ``wide``'s LHS *and* both rules rewrite those instances identically."""
+    if wide.is_statement_rule != narrow.is_statement_rule:
+        return False
+    wide_rhs = _single_alternative(wide.rhs)
+    narrow_rhs = _single_alternative(narrow.rhs)
+    # Rewrite equivalence is only decided for marker-free right sides
+    # (markers mean "a set of alternatives" whose equality is a deeper
+    # question than lint should answer); ``remove`` equals ``remove``.
+    if wide_rhs is None or narrow_rhs is None:
+        if not (wide_rhs is None and narrow_rhs is None):
+            return False
+    elif _has_markers(wide_rhs) or _has_markers(narrow_rhs):
+        return False
+    for ops in _OP_VARIANTS:
+        witnesses: Dict[str, N.Expr] = {}
+        concrete_lhs = _concretize(narrow.lhs, witnesses, ops)
+        bindings = match(wide.lhs, concrete_lhs)
+        if bindings is None:
+            return False
+        if wide_rhs is not None and narrow_rhs is not None:
+            produced = _substitute(wide_rhs, bindings)
+            expected = _concretize(narrow_rhs, witnesses, ops)
+            if produced != expected:
+                return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Type consistency
+# ---------------------------------------------------------------------------
+
+
+def _rule_type_env(rule: RewriteRule) -> TypeEnv:
+    types: Dict[str, CoarseType] = {}
+    for node in rule.lhs.walk():
+        if isinstance(node, N.Var):
+            kind = metavar_kind(node.name)
+            if kind == "int":
+                types[node.name] = CoarseType.INT
+    return TypeEnv(types)
+
+
+def _side_type(expr: N.Expr, env: TypeEnv) -> CoarseType:
+    """Coarse type of a rule side, marker-aware."""
+    if not _has_markers(expr):
+        return infer_expr(expr, env)
+    if isinstance(expr, (Prime, ScopeVars)):
+        return env.get(expr.binding)
+    if isinstance(expr, FreeSet):
+        kinds = {_side_type(e, env) for e in expr.elements}
+        if len(kinds) == 1:
+            return kinds.pop()
+        return CoarseType.UNKNOWN
+    if isinstance(expr, (CmpSet, N.Compare)):
+        return CoarseType.BOOL
+    if isinstance(expr, N.BoolOp):
+        return CoarseType.BOOL
+    return CoarseType.UNKNOWN
+
+
+def _ill_typed(rule: RewriteRule) -> Optional[Tuple[str, str]]:
+    """``(lhs_type, rhs_type)`` when both are known and disagree."""
+    if rule.is_statement_rule or rule.rhs is None:
+        return None
+    if not isinstance(rule.lhs, N.Expr) or not isinstance(rule.rhs, N.Expr):
+        return None
+    env = _rule_type_env(rule)
+    lhs_t = _side_type(rule.lhs, env)
+    rhs_t = _side_type(rule.rhs, env)
+    if (
+        lhs_t is not CoarseType.UNKNOWN
+        and rhs_t is not CoarseType.UNKNOWN
+        and lhs_t is not rhs_t
+    ):
+        return (lhs_t.value, rhs_t.value)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Dead-rule corpus
+# ---------------------------------------------------------------------------
+
+
+class MatchCorpus:
+    """Subtrees a live rule could match: reference + variants + rule output."""
+
+    def __init__(self) -> None:
+        self.exprs: List[N.Expr] = []
+        self.stmts: List[N.Stmt] = []
+        #: Rule-output subtrees keyed by the contributing rule: a rule's
+        #: liveness may ride any *other* rule's output, never its own —
+        #: a self-matching RHS would otherwise keep every rule alive.
+        self._by_rule: Dict[str, Tuple[List[N.Expr], List[N.Stmt]]] = {}
+
+    def _pools(
+        self, rule_name: Optional[str]
+    ) -> Tuple[List[N.Expr], List[N.Stmt]]:
+        if rule_name is None:
+            return self.exprs, self.stmts
+        return self._by_rule.setdefault(rule_name, ([], []))
+
+    def add_tree(
+        self, root: N.Node, rule_name: Optional[str] = None
+    ) -> None:
+        exprs, stmts = self._pools(rule_name)
+        for node in root.walk():
+            if isinstance(node, N.Expr):
+                exprs.append(node)
+            elif isinstance(node, N.Stmt):
+                stmts.append(node)
+
+    def add_source(
+        self, source: str, rule_name: Optional[str] = None
+    ) -> None:
+        try:
+            self.add_tree(parse_program(source), rule_name=rule_name)
+        except FrontendError:
+            pass
+
+    def add_rule_output(self, model: ErrorModel) -> None:
+        """Rule right-hand sides are reachable matter too: nested (primed)
+        transformation re-applies the model to rewritten subterms."""
+        import re as _re
+
+        for rule in model:
+            if isinstance(rule, InsertTopRule):
+                self.add_source(
+                    _re.sub(r"\$[0-9]+", "__param__", rule.body_source),
+                    rule_name=rule.name,
+                )
+            elif rule.rhs is not None:
+                for ops in _OP_VARIANTS:
+                    self.add_tree(
+                        _concretize(rule.rhs, {}, ops), rule_name=rule.name
+                    )
+
+    def matches(self, rule: RewriteRule) -> bool:
+        statement = rule.is_statement_rule
+        pools = [self.stmts if statement else self.exprs]
+        for name, (exprs, stmts) in self._by_rule.items():
+            if name == rule.name:
+                continue
+            pools.append(stmts if statement else exprs)
+        return any(
+            match(rule.lhs, node) is not None
+            for pool in pools
+            for node in pool
+        )
+
+
+def corpus_for_spec(spec, model: ErrorModel, variants: List[str]) -> MatchCorpus:
+    corpus = MatchCorpus()
+    modules: List[N.Module] = []
+    for source in [spec.reference_source] + list(variants):
+        try:
+            modules.append(parse_program(source))
+        except FrontendError:
+            continue
+    for module in modules:
+        corpus.add_tree(module)
+    # The studentgen mutation catalog is the repo's model of student
+    # errors; a rule aimed at a mistake the mutator can inject (e.g.
+    # ``-=`` for ``+=``) is alive even when no *correct* program
+    # contains its vocabulary.
+    from repro.studentgen.mutator import enumerate_mutations
+
+    for module in modules:
+        for mutation in enumerate_mutations(module):
+            try:
+                corpus.add_tree(mutation.apply())
+            except Exception:
+                continue
+    corpus.add_rule_output(model)
+    return corpus
+
+
+# ---------------------------------------------------------------------------
+# The linter
+# ---------------------------------------------------------------------------
+
+
+def lint_model(
+    model: ErrorModel,
+    source_name: str = "",
+    spec=None,
+    variants: Optional[List[str]] = None,
+) -> LintReport:
+    """All diagnostics for one parsed model.
+
+    ``spec`` (a :class:`~repro.core.spec.ProblemSpec`) enables the
+    problem-relative checks — dead rules and the candidate-space
+    estimate; without it only model-intrinsic checks run.
+    """
+    report = LintReport(model=model.name, source_name=source_name)
+    out = report.diagnostics
+
+    # -- well-formedness (Definitions 1-2) as diagnostics ------------------
+    seen_names: Dict[str, int] = {}
+    well_formed: List[object] = []
+    for rule in model:
+        if rule.name in seen_names:
+            out.append(
+                Diagnostic(
+                    severity=ERROR,
+                    code="malformed-rule",
+                    message=f"duplicate rule name {rule.name!r}",
+                    line=rule.line,
+                    rule=rule.name,
+                )
+            )
+            continue
+        seen_names[rule.name] = 1
+        if isinstance(rule, InsertTopRule):
+            if not rule.body_source.strip():
+                out.append(
+                    Diagnostic(
+                        severity=ERROR,
+                        code="malformed-rule",
+                        message=f"rule {rule.name}: empty insert-top body",
+                        line=rule.line,
+                        rule=rule.name,
+                    )
+                )
+            else:
+                well_formed.append(rule)
+            continue
+        try:
+            check_rule(rule)
+        except EMLWellFormednessError as exc:
+            out.append(
+                Diagnostic(
+                    severity=ERROR,
+                    code="malformed-rule",
+                    message=str(exc),
+                    line=rule.line,
+                    rule=rule.name,
+                )
+            )
+            continue
+        well_formed.append(rule)
+
+    rewrites = [r for r in well_formed if isinstance(r, RewriteRule)]
+
+    # -- duplicates and no-ops ---------------------------------------------
+    by_key: Dict[object, RewriteRule] = {}
+    duplicated = set()
+    for rule in rewrites:
+        key = _alpha_key(rule)
+        first = by_key.get(key)
+        if first is not None:
+            duplicated.add(rule.name)
+            out.append(
+                Diagnostic(
+                    severity=WARNING,
+                    code="duplicate-rule",
+                    message=(
+                        f"rule {rule.name} duplicates rule {first.name} "
+                        "up to metavariable renaming"
+                    ),
+                    line=rule.line,
+                    rule=rule.name,
+                )
+            )
+        else:
+            by_key[key] = rule
+
+    for rule in rewrites:
+        rhs = rule.rhs
+        if isinstance(rhs, FreeSet) and len(rhs.elements) == 1:
+            rhs = rhs.elements[0]
+        if rhs is None:
+            continue
+        mapping: Dict[str, str] = {}
+        if _alpha_canon(rule.lhs, mapping) == _alpha_canon(rhs, dict(mapping)):
+            out.append(
+                Diagnostic(
+                    severity=WARNING,
+                    code="zero-cost-rule",
+                    message=(
+                        f"rule {rule.name} rewrites a term to itself; the "
+                        "transformer drops identity alternatives, so it "
+                        "contributes nothing"
+                    ),
+                    line=rule.line,
+                    rule=rule.name,
+                )
+            )
+
+    # -- shadowing ---------------------------------------------------------
+    for narrow in rewrites:
+        if narrow.name in duplicated:
+            continue  # already reported as an exact duplicate
+        for wide in rewrites:
+            if wide is narrow or wide.name in duplicated:
+                continue
+            if _alpha_key(wide) == _alpha_key(narrow):
+                continue  # duplicate pair, reported above
+            if _subsumes(wide, narrow):
+                out.append(
+                    Diagnostic(
+                        severity=WARNING,
+                        code="shadowed-rule",
+                        message=(
+                            f"rule {narrow.name} is subsumed by rule "
+                            f"{wide.name}: the wider pattern produces the "
+                            "same rewrite on every instance"
+                        ),
+                        line=narrow.line,
+                        rule=narrow.name,
+                    )
+                )
+                break
+
+    # -- type consistency --------------------------------------------------
+    for rule in rewrites:
+        typed = _ill_typed(rule)
+        if typed is not None:
+            out.append(
+                Diagnostic(
+                    severity=WARNING,
+                    code="ill-typed-rewrite",
+                    message=(
+                        f"rule {rule.name} rewrites a {typed[0]} expression "
+                        f"into a {typed[1]} expression"
+                    ),
+                    line=rule.line,
+                    rule=rule.name,
+                )
+            )
+
+    # -- problem-relative checks -------------------------------------------
+    if spec is not None:
+        corpus = corpus_for_spec(spec, model, variants or [])
+        for rule in rewrites:
+            if rule.name in duplicated:
+                continue
+            if not corpus.matches(rule):
+                out.append(
+                    Diagnostic(
+                        severity=WARNING,
+                        code="dead-rule",
+                        message=(
+                            f"rule {rule.name} matches nothing in the "
+                            "reference program, its known-correct variants, "
+                            "the mutation catalog, or any rule output — it "
+                            "can never fire"
+                        ),
+                        line=rule.line,
+                        rule=rule.name,
+                    )
+                )
+        out.extend(_candidate_space(model, spec))
+
+    return report
+
+
+def _candidate_space(model: ErrorModel, spec) -> List[Diagnostic]:
+    try:
+        module = spec.reference_module()
+        fn = module.functions()[spec.function]
+        param_types = dict(zip(fn.params, spec.arg_types))
+        tilde, _registry = apply_error_model(module, model, param_types)
+    except (EMLError, FrontendError, KeyError):
+        return []
+    choices = collect_choices(tilde)
+    if not choices:
+        return [
+            Diagnostic(
+                severity=INFO,
+                code="candidate-space",
+                message=(
+                    "model induces no choices on the reference program "
+                    "(1 candidate)"
+                ),
+            )
+        ]
+    log10_size = sum(math.log10(c.arity) for c in choices)
+    message = (
+        f"model induces {len(choices)} holes on the reference program "
+        f"(~10^{log10_size:.1f} candidates)"
+    )
+    if log10_size > CANDIDATE_SPACE_WARN_LOG10:
+        return [
+            Diagnostic(
+                severity=WARNING,
+                code="candidate-space-blowup",
+                message=message
+                + f"; past the 10^{CANDIDATE_SPACE_WARN_LOG10:.0f} "
+                "solver-tractability budget",
+            )
+        ]
+    return [Diagnostic(severity=INFO, code="candidate-space", message=message)]
+
+
+def lint_source(text: str, source_name: str = "", spec=None) -> LintReport:
+    """Lint raw ``.eml`` text; parse failures become ERROR diagnostics."""
+    try:
+        model = parse_error_model(text, name=source_name or "model")
+    except EMLError as exc:
+        report = LintReport(
+            model=source_name or "model", source_name=source_name
+        )
+        report.diagnostics.append(
+            Diagnostic(
+                severity=ERROR,
+                code="parse-error",
+                message=str(exc),
+                line=getattr(exc, "line", None),
+            )
+        )
+        return report
+    return lint_model(model, source_name=source_name, spec=spec)
+
+
+def lint_problem(problem) -> LintReport:
+    """Lint a registry problem's model against its reference + variants."""
+    try:
+        from repro.studentgen.variants import variants_for
+
+        variants = variants_for(problem.name)
+    except KeyError:
+        variants = []
+    return lint_model(
+        problem.model,
+        source_name=problem.model_file,
+        spec=problem.spec,
+        variants=variants,
+    )
+
+
+def lint_registry() -> List[LintReport]:
+    """Lint every registry problem (the tier-1 cleanliness gate)."""
+    from repro.problems import all_problems
+
+    return [lint_problem(problem) for problem in all_problems()]

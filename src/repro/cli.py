@@ -13,7 +13,13 @@ Subcommands:
 - ``serve`` — run the persistent feedback server (warm precompiled
   problems, admission queue, shared result cache, process-sharded
   grading executors on multi-core machines);
-- ``table1`` — regenerate the Table 1 experiment on synthetic corpora.
+- ``table1`` — regenerate the Table 1 experiment on synthetic corpora;
+- ``lint`` — static analysis over ``.eml`` error models (shadowed /
+  dead / ill-typed / zero-cost rules, candidate-space estimates); exits
+  non-zero on any ERROR finding;
+- ``coverage`` — grade a corpus and join the results against the rule
+  inventory: which rules fire, which never do, which submissions stay
+  unfixable.
 """
 
 from __future__ import annotations
@@ -96,6 +102,78 @@ def cmd_table1(args: argparse.Namespace) -> int:
         explorer=args.explorer,
     )
     print(format_table1(rows))
+    return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis import lint_problem, lint_source
+
+    reports = []
+    if args.files:
+        for path in args.files:
+            text = pathlib.Path(path).read_text()
+            reports.append(lint_source(text, source_name=path))
+    else:
+        names = args.problem or [p.name for p in all_problems()]
+        for name in names:
+            reports.append(lint_problem(get_problem(name)))
+
+    findings = sum(len(report.diagnostics) for report in reports)
+    if args.format == "json":
+        print(json.dumps([report.to_json() for report in reports], indent=2))
+    else:
+        for report in reports:
+            print(report.render())
+        noun = "finding" if findings == 1 else "findings"
+        print(f"linted {len(reports)} model(s): {findings} {noun}")
+    return 1 if any(report.errors for report in reports) else 0
+
+
+def cmd_coverage(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.analysis import render_coverage, run_coverage
+    from repro.service import ResultCache
+
+    if args.jobs < 1:
+        raise SystemExit("--jobs must be >= 1")
+    names = args.problem or [p.name for p in all_problems()]
+    sources = None
+    if args.directory:
+        if len(names) != 1:
+            raise SystemExit(
+                "a submissions directory covers exactly one --problem"
+            )
+        directory = pathlib.Path(args.directory)
+        if not directory.is_dir():
+            raise SystemExit(f"not a directory: {directory}")
+        paths = sorted(directory.glob(args.pattern))
+        if not paths:
+            raise SystemExit(f"no {args.pattern} files in {directory}")
+        sources = [
+            (str(path.relative_to(directory)), path.read_text())
+            for path in paths
+        ]
+    cache = ResultCache(args.cache) if args.cache else None
+    reports = [
+        run_coverage(
+            get_problem(name),
+            sources=sources,
+            jobs=args.jobs,
+            timeout_s=args.timeout,
+            engine=args.engine,
+            seed=args.seed,
+            count=args.count,
+            cache=cache,
+        )
+        for name in names
+    ]
+    if args.format == "json":
+        print(json.dumps([report.to_json() for report in reports], indent=2))
+    else:
+        print(render_coverage(reports))
     return 0
 
 
@@ -320,6 +398,18 @@ def main(argv: Optional[list] = None) -> int:
             "via REPRO_OBS"
         ),
     )
+    parser.add_argument(
+        "--analysis",
+        default=None,
+        choices=["on", "off"],
+        help=(
+            "pre-grading submission triage: 'on' (default) short-circuits "
+            "statically-unfixable submissions before they cost a grading "
+            "slot; 'off' grades everything (records are byte-identical on "
+            "every non-triaged path); also settable via REPRO_ANALYSIS. "
+            "The lint/coverage verbs ignore this knob."
+        ),
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("problems", help="list benchmark problems")
@@ -467,6 +557,66 @@ def main(argv: Optional[list] = None) -> int:
         "REPRO_FAULTS",
     )
 
+    lint = sub.add_parser(
+        "lint", help="static analysis over .eml error models"
+    )
+    lint.add_argument(
+        "files",
+        nargs="*",
+        help=".eml files to lint (default: every registry model)",
+    )
+    lint.add_argument(
+        "--problem",
+        action="append",
+        default=None,
+        help="lint this registry problem's model (repeatable; implies "
+        "problem-aware checks: dead rules, candidate-space estimate)",
+    )
+    lint.add_argument(
+        "--format", default="text", choices=["text", "json"]
+    )
+
+    coverage = sub.add_parser(
+        "coverage",
+        help="grade a corpus and report which model rules fire",
+    )
+    coverage.add_argument(
+        "--problem",
+        action="append",
+        default=None,
+        help="cover this problem (repeatable; default: every problem)",
+    )
+    coverage.add_argument(
+        "--dir",
+        dest="directory",
+        default=None,
+        help="directory of submission files (default: the deterministic "
+        "studentgen corpus)",
+    )
+    coverage.add_argument(
+        "--pattern", default="*.py", help="submission filename glob"
+    )
+    coverage.add_argument("--jobs", type=int, default=1)
+    coverage.add_argument("--timeout", type=float, default=45.0)
+    coverage.add_argument(
+        "--engine", default="cegismin", choices=["cegismin", "enumerative"]
+    )
+    coverage.add_argument(
+        "--seed", type=int, default=0, help="studentgen corpus seed"
+    )
+    coverage.add_argument(
+        "--count",
+        type=int,
+        default=24,
+        help="incorrect submissions per generated corpus",
+    )
+    coverage.add_argument(
+        "--cache", default=None, help="persistent result-cache JSON file"
+    )
+    coverage.add_argument(
+        "--format", default="text", choices=["text", "json"]
+    )
+
     table1 = sub.add_parser("table1", help="run the Table 1 experiment")
     table1.add_argument("--corpus-size", type=int, default=24)
     table1.add_argument("--seed", type=int, default=0)
@@ -489,6 +639,12 @@ def main(argv: Optional[list] = None) -> int:
     if args.obs is not None:
         # And for the telemetry knob — batch/serve workers inherit it.
         set_default_obs(args.obs)
+    if args.analysis is not None:
+        # And for the pre-grading triage knob: batch runners and the
+        # service resolve the process default at construction.
+        from repro.analysis import set_default_analysis
+
+        set_default_analysis(args.analysis)
     handlers = {
         "problems": cmd_problems,
         "grade": cmd_grade,
@@ -496,6 +652,8 @@ def main(argv: Optional[list] = None) -> int:
         "batch": cmd_batch,
         "serve": cmd_serve,
         "table1": cmd_table1,
+        "lint": cmd_lint,
+        "coverage": cmd_coverage,
     }
     return handlers[args.command](args)
 

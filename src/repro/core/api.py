@@ -65,6 +65,10 @@ class FeedbackReport:
     #: submission as written on canonical inputs), so it may live on
     #: cached records; absent on every clean-path status.
     degraded: Optional[dict] = None
+    #: Pre-grading triage verdict on ``status="static"`` records only:
+    #: ``{"verdict": ..., "diagnostics": [{"line", "code", "message"}]}``.
+    #: Deterministic and cacheable; absent on every graded status.
+    triage: Optional[dict] = None
 
     @property
     def fixed(self) -> bool:
@@ -80,6 +84,21 @@ class FeedbackReport:
                 "The tool could not correct this program with the current "
                 "error model."
             )
+        if self.status == "static" and self.triage is not None:
+            lines = [
+                (
+                    "The tool determined statically that no correction "
+                    f"can fix this program: {self.detail}"
+                ).strip()
+            ]
+            for diag in self.triage.get("diagnostics", []):
+                where = (
+                    f"line {diag['line']}: "
+                    if diag.get("line") is not None
+                    else ""
+                )
+                lines.append(f"  {where}{diag.get('message', '')}")
+            return "\n".join(lines)
         base = (
             f"Could not analyze the submission: {self.status} "
             f"{self.detail}"

@@ -287,7 +287,12 @@ def parse_rule(
                 "rule sides must both be expressions or both statements", line
             )
     return RewriteRule(
-        name=name, lhs=lhs, rhs=rhs, message=message, source=text.strip()
+        name=name,
+        lhs=lhs,
+        rhs=rhs,
+        message=message,
+        source=text.strip(),
+        line=line,
     )
 
 
@@ -327,7 +332,9 @@ def parse_error_model(text: str, name: str = "model") -> ErrorModel:
         body = _dedent(block)
         _validate_insert_top(body, at_line)
         rules.append(
-            InsertTopRule(name=rule_name, body_source=body, source=body)
+            InsertTopRule(
+                name=rule_name, body_source=body, source=body, line=at_line
+            )
         )
         pending_insert = None
 
@@ -361,6 +368,7 @@ def parse_error_model(text: str, name: str = "model") -> ErrorModel:
                     rhs=last.rhs,
                     message=message,
                     source=last.source,
+                    line=last.line,
                 )
             else:
                 rules[-1] = InsertTopRule(
@@ -368,6 +376,7 @@ def parse_error_model(text: str, name: str = "model") -> ErrorModel:
                     body_source=last.body_source,
                     message=message,
                     source=last.source,
+                    line=last.line,
                 )
             continue
         if stripped.startswith("rule "):

@@ -110,6 +110,10 @@ class RewriteRule:
     rhs: Optional[N.Node]
     message: Optional[str] = None
     source: str = ""
+    #: 1-based line of the ``rule`` header in the source ``.eml`` document
+    #: (None for programmatically built rules). Excluded from equality and
+    #: from ``model_digest`` so positions never perturb cache keys.
+    line: Optional[int] = field(default=None, compare=False)
 
     @property
     def is_statement_rule(self) -> bool:
@@ -130,6 +134,8 @@ class InsertTopRule:
     body_source: str
     message: Optional[str] = None
     source: str = ""
+    #: See :attr:`RewriteRule.line`.
+    line: Optional[int] = field(default=None, compare=False)
 
 
 Rule = object  # documentation alias: RewriteRule | InsertTopRule

@@ -42,6 +42,8 @@ from typing import Dict, Optional, Tuple
 
 from concurrent.futures import Future
 
+from repro.analysis.config import resolve_analysis
+from repro.analysis.triage import triage_record
 from repro.compile import resolve_backend
 from repro.engines import ENGINES
 from repro.explore import resolve_explorer
@@ -188,6 +190,7 @@ class FeedbackService:
         slow_ms: Optional[float] = None,
         breaker_threshold: int = 5,
         breaker_reset_s: float = 30.0,
+        analysis: Optional[bool] = None,
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -229,6 +232,10 @@ class FeedbackService:
         # matches the grading mode.
         self.backend = resolve_backend(backend)
         self.explorer = resolve_explorer(explorer)
+        #: Pre-grading triage on/off, resolved once at startup (explicit
+        #: argument, else ``REPRO_ANALYSIS`` / the process default): every
+        #: request is admitted under the startup configuration.
+        self.analysis = resolve_analysis(analysis)
         #: Slow-grading event threshold, resolved once at startup
         #: (explicit argument, else ``REPRO_SLOW_MS`` / the process
         #: default) — per-request event emission must not re-read the
@@ -291,6 +298,7 @@ class FeedbackService:
             "cache_hits": 0,
             "dedup_hits": 0,
             "degraded": 0,
+            "triaged": 0,
             "rejected": 0,
             "errors": 0,
         }
@@ -342,6 +350,17 @@ class FeedbackService:
             engine=engine_label(engine_name, self.explorer),
             timeout_s=budget,
         )
+        # The static-triage address is engine- and budget-independent: a
+        # proof that no candidate fixes this submission answers any
+        # engine/timeout variant of the request. ``None`` with analysis
+        # off — the normal key space is then the only one consulted, so
+        # analysis-off behavior is untouched by construction.
+        static_key = (
+            cache_key(warm.name, warm.model_digest, form.digest,
+                      engine="static")
+            if self.analysis
+            else None
+        )
         breaker_keys = (
             f"problem:{warm.name}",
             f"hash:{warm.name}:{form.digest}",
@@ -361,7 +380,7 @@ class FeedbackService:
         try:
             return self._graded_outcome(
                 warm, source, engine_name, budget, key, started,
-                request_id, stages, deadline, breaker_keys,
+                request_id, stages, deadline, breaker_keys, static_key,
             )
         finally:
             with self._idle:
@@ -370,10 +389,14 @@ class FeedbackService:
 
     def _graded_outcome(
         self, warm, source, engine_name, budget, key, started,
-        request_id, stages, deadline, breaker_keys,
+        request_id, stages, deadline, breaker_keys, static_key=None,
     ) -> GradeOutcome:
         lookup_started = time.monotonic()
         record = self.cache.get(key)
+        if record is None and static_key is not None:
+            record = self.cache.get(static_key)
+            if record is not None:
+                key = static_key
         if stages is not None:
             stages["cache_lookup"] = time.monotonic() - lookup_started
         if record is not None:
@@ -381,6 +404,25 @@ class FeedbackService:
                 "cache_hit", record, key, started, request_id, stages,
                 cached=True,
             )
+
+        if static_key is not None:
+            # Pre-grading triage: a <5ms static pass over the submission's
+            # candidate space. A verdict means *no* candidate can be
+            # equivalent — answer now, spend no admission slot, and cache
+            # under the dedicated static address. A pass-through falls to
+            # the ordinary grading path below. Stage timing and the
+            # repro_triage_total counter are observed inside
+            # triage_record, where the pass ran.
+            record = triage_record(
+                warm.spec, warm.model, warm.verifier, source
+            )
+            if record is not None:
+                self.cache.put(static_key, record)
+                self._maybe_persist()
+                return self._finish(
+                    "triaged", record, static_key, started, request_id,
+                    stages,
+                )
 
         # Circuit breakers fire only on the would-grade path: cache hits
         # are free and safe to serve, and a follower rides whatever its
@@ -441,6 +483,7 @@ class FeedbackService:
         "dedup": "dedup_hits",
         "graded": "graded",
         "degraded": "degraded",
+        "triaged": "triaged",
     }
 
     def _obs_handles(self) -> dict:
@@ -561,6 +604,7 @@ class FeedbackService:
             "queued": queued,
             "backend": self.backend,
             "explorer": self.explorer,
+            "analysis": self.analysis,
             "executor": executor_info,
             "by_status": by_status,
             "avg_grade_s": round(avg_grade_s, 4),

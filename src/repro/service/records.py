@@ -34,6 +34,35 @@ DEGRADED = "degraded"
 #: out here so the record layer needs no core import at use sites).
 TIMEOUT = "timeout"
 
+#: Status of a submission short-circuited by pre-grading triage
+#: (:mod:`repro.analysis.triage`): a static pass proved no candidate in
+#: the correction space can be equivalent, so no grading slot was spent.
+#: Static records are deterministic (pure functions of the source and
+#: model) and cacheable — under a dedicated engine-independent key, so
+#: analysis-off configurations never observe them.
+STATIC = "static"
+
+
+def static_record(
+    problem: str,
+    verdict: str,
+    diagnostics: Optional[list] = None,
+    detail: str = "",
+    wall_time: float = 0.0,
+) -> dict:
+    """The record for a statically-unfixable submission.
+
+    ``diagnostics`` are line-anchored JSON-safe dicts (``line``, ``code``,
+    ``message``) from the triage pass.
+    """
+    record = _base_record(problem, STATIC, detail)
+    record["wall_time"] = wall_time
+    record["triage"] = {
+        "verdict": verdict,
+        "diagnostics": list(diagnostics or []),
+    }
+    return record
+
 
 def _base_record(problem: str, status: str, detail: str) -> dict:
     return {
@@ -116,6 +145,10 @@ def report_to_record(report: FeedbackReport) -> dict:
         # it is NOT stripped — clean-path records never carry the key,
         # which is what keeps resilience-on/off byte-identity.
         **({"degraded": report.degraded} if report.degraded else {}),
+        # Triage verdicts exist on static records only and are
+        # deterministic; passed-through submissions never carry the key,
+        # which is what keeps analysis-on/off byte-identity.
+        **({"triage": report.triage} if report.triage else {}),
     }
 
 
@@ -149,6 +182,7 @@ def record_to_report(record: dict) -> FeedbackReport:
         detail=record.get("detail", ""),
         metrics=record.get("metrics"),
         degraded=record.get("degraded"),
+        triage=record.get("triage"),
     )
 
 

@@ -32,6 +32,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Union
 
+from repro.analysis.config import resolve_analysis
 from repro.compile import default_backend, using_backend
 from repro.core.api import TIMEOUT as TIMEOUT_STATUS
 from repro.core.api import FeedbackReport, generate_feedback
@@ -47,6 +48,7 @@ from repro.service.canonical import canonicalize, model_digest
 from repro.service.jobstore import JobStore
 from repro.service.records import (
     ERROR,
+    STATIC,
     error_record,
     record_to_report,
     report_to_record,
@@ -129,6 +131,7 @@ class BatchRunner:
         verifier: Optional["BoundedVerifier"] = None,
         backend: Optional[str] = None,
         explorer: Optional[bool] = None,
+        analysis: Optional[bool] = None,
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -157,6 +160,10 @@ class BatchRunner:
         #: flipped between construction and run() would store results
         #: under the other configuration's key.
         self.explorer = resolve_explorer(explorer)
+        #: Pre-grading triage on/off, resolved once for the same reason:
+        #: a static record must be stored under the static key by the
+        #: same run that produced it.
+        self.analysis = resolve_analysis(analysis)
         self.stats = BatchStats()
         self._model_digest = model_digest(self.model)
         # An engine *instance* contributes its full configuration to the
@@ -178,9 +185,20 @@ class BatchRunner:
             engine=engine_label(engine_name, self.explorer),
             timeout_s=self.timeout_s,
         )
+        #: Static-triage records live under a dedicated engine-independent
+        #: address: the verdict "no candidate can fix this" holds for any
+        #: engine or budget, and the separate prefix keeps analysis-off
+        #: runs blind to these records entirely (byte-identity by
+        #: construction).
+        self._static_prefix = cache_key(
+            self.problem.name, self._model_digest, "", engine="static"
+        )
 
     def _key(self, canonical_digest: str) -> str:
         return self._key_prefix + canonical_digest
+
+    def _static_key(self, canonical_digest: str) -> str:
+        return self._static_prefix + canonical_digest
 
     # -- public API ---------------------------------------------------------
 
@@ -243,22 +261,35 @@ class BatchRunner:
 
         # Stage 2: canonicalize and collapse duplicates.
         keys: Dict[int, str] = {}
+        digests: Dict[int, str] = {}
         by_key: Dict[str, List[int]] = {}
         for index in pending:
             form = canonicalize(batch[index].source, self.problem.spec)
             key = self._key(form.digest)
             keys[index] = key
+            digests[index] = form.digest
             by_key.setdefault(key, []).append(index)
 
         # Stage 3: serve cache hits (every duplicate of a hit is a hit).
+        # With analysis on, the static address is consulted too — a
+        # triage verdict cached by any prior run (any engine, any budget)
+        # answers this submission without a slot.
         to_grade: List[int] = []
         for key, indices in by_key.items():
-            record = self.cache.get(key)
+            served_key = key
+            record = None
+            if self.analysis:
+                static_key = self._static_key(digests[indices[0]])
+                record = self.cache.get(static_key)
+                if record is not None:
+                    served_key = static_key
+            if record is None:
+                record = self.cache.get(key)
             if record is not None:
                 self.stats.cache_hits += len(indices)
                 for index in indices:
                     self._store_and_settle(
-                        settle, batch, index, key, record, cached=True
+                        settle, batch, index, served_key, record, cached=True
                     )
             else:
                 to_grade.append(indices[0])
@@ -266,14 +297,21 @@ class BatchRunner:
         # Stage 4: grade one representative per distinct submission.
         for index, record in self._grade(batch, to_grade):
             key = keys[index]
-            if record["status"] != ERROR:
+            settle_key = key
+            if record["status"] == STATIC:
+                # Static records are filed under the dedicated address so
+                # analysis-off runs (sharing this cache) never see them.
+                settle_key = self._static_key(digests[index])
+                self.cache.put(settle_key, record)
+            elif record["status"] != ERROR:
                 self.cache.put(key, record)
             clones = by_key[key]
             self.stats.graded += 1
             self.stats.dedup_hits += len(clones) - 1
             for clone in clones:
                 self._store_and_settle(
-                    settle, batch, clone, key, record, cached=clone != index
+                    settle, batch, clone, settle_key, record,
+                    cached=clone != index,
                 )
 
         self.stats.wall_time = time.monotonic() - started
@@ -322,6 +360,15 @@ class BatchRunner:
         with using_backend(self.backend), using_explorer(self.explorer):
             verifier = self.verifier or _verifier_cache(spec)
             for index in indices:
+                if self.analysis:
+                    from repro.analysis.triage import triage_record
+
+                    static = triage_record(
+                        spec, self.model, verifier, batch[index].source
+                    )
+                    if static is not None:
+                        yield index, static
+                        continue
                 try:
                     report = generate_feedback(
                         batch[index].source,
@@ -355,6 +402,7 @@ class BatchRunner:
                 self.timeout_s,
                 self.backend or default_backend(),
                 self.explorer,
+                self.analysis,
             ),
         ) as pool:
             futures = {

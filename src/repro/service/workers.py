@@ -112,6 +112,7 @@ def grade_record(
     backend: Optional[str],
     explorer: Optional[bool],
     deadline: Optional[Deadline] = None,
+    analysis: bool = False,
 ) -> dict:
     """Grade one submission against warm per-problem state → record.
 
@@ -126,7 +127,21 @@ def grade_record(
     runs in the requesting process; across the worker pipe only the
     remaining seconds travel (as a shrunk ``timeout_s``) and the worker
     restarts a local clock here.
+
+    ``analysis=True`` runs the pre-grading triage pass
+    (:mod:`repro.analysis.triage`) first and short-circuits to a
+    ``status="static"`` record when it proves no candidate can fix the
+    submission. The batch runner's worker path opts in; the server's
+    executors leave it off because the service triages at admission.
     """
+    if analysis:
+        from repro.analysis.triage import triage_record
+
+        static = triage_record(spec, model, verifier, source)
+        if static is not None:
+            if resolve_obs(None):
+                observe_grading(static, engine_name)
+            return static
     try:
         # Chaos seams (zero-cost disarmed): a grading that stalls, and a
         # grading that raises — the two failure shapes every layer above
@@ -173,6 +188,7 @@ def worker_init(
     timeout_s: float,
     backend: str,
     explorer: bool,
+    analysis: bool = False,
 ) -> None:
     """Initializer for one-problem batch worker processes."""
     from repro.engines.verify import BoundedVerifier
@@ -191,6 +207,7 @@ def worker_init(
         timeout_s=timeout_s,
         backend=backend,
         explorer=explorer,
+        analysis=analysis,
         verifier=verifier,
     )
 
@@ -206,6 +223,7 @@ def worker_grade(source: str) -> dict:
         _WORKER["timeout_s"],
         _WORKER["backend"],
         _WORKER["explorer"],
+        analysis=_WORKER.get("analysis", False),
     )
 
 

@@ -1,0 +1,113 @@
+"""EML linter: seeded-defect fixtures and the registry-lints-clean gate."""
+
+import pathlib
+
+import pytest
+
+from repro.analysis import lint_problem, lint_registry, lint_source
+from repro.analysis.diagnostics import ERROR, INFO, WARNING, severity_rank
+from repro.problems import all_problems, get_problem
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures"
+
+
+def fixture_text(name: str) -> str:
+    return (FIXTURES / name).read_text()
+
+
+def actionable(report):
+    """WARNING-and-up findings (INFO estimates are advisory)."""
+    return [
+        d
+        for d in report.diagnostics
+        if severity_rank(d.severity) >= severity_rank(WARNING)
+    ]
+
+
+# -- seeded-defect fixtures: exactly one diagnostic each ---------------------
+
+
+def test_shadowed_rule_fixture():
+    report = lint_source(fixture_text("shadowed.eml"), "shadowed.eml")
+    findings = actionable(report)
+    assert len(findings) == 1
+    assert findings[0].code == "shadowed-rule"
+    assert findings[0].rule == "NARROW"
+    assert findings[0].severity == WARNING
+    assert findings[0].line is not None
+
+
+def test_ill_typed_rewrite_fixture():
+    report = lint_source(fixture_text("illtyped.eml"), "illtyped.eml")
+    findings = actionable(report)
+    assert len(findings) == 1
+    assert findings[0].code == "ill-typed-rewrite"
+    assert findings[0].rule == "BADT"
+
+
+def test_zero_cost_rule_fixture():
+    report = lint_source(fixture_text("zerocost.eml"), "zerocost.eml")
+    findings = actionable(report)
+    assert len(findings) == 1
+    assert findings[0].code == "zero-cost-rule"
+    assert findings[0].rule == "NOOP"
+
+
+def test_dead_rule_fixture():
+    # Dead-rule detection is problem-relative: lint against oddTuples.
+    spec = get_problem("oddTuples-6.00").spec
+    report = lint_source(fixture_text("dead.eml"), "dead.eml", spec=spec)
+    findings = actionable(report)
+    assert len(findings) == 1
+    assert findings[0].code == "dead-rule"
+    assert findings[0].rule == "DEADR"
+
+
+def test_clean_fixture_has_no_findings():
+    report = lint_source(fixture_text("clean.eml"), "clean.eml")
+    assert report.diagnostics == []
+    assert report.worst() is None
+
+
+def test_parse_failure_is_an_error_diagnostic():
+    report = lint_source("model E-broken\nrule X: ->\n", "broken.eml")
+    assert report.errors >= 1
+    assert any(d.code == "parse-error" for d in report.diagnostics)
+
+
+def test_duplicate_rule_names_are_errors():
+    text = (
+        "model E-dup\n"
+        "rule SAME: v = n -> v = {n + 1}\n"
+        "rule SAME: return v -> return {?v}\n"
+    )
+    report = lint_source(text, "dup.eml")
+    assert any(
+        d.code == "malformed-rule" and d.severity == ERROR
+        for d in report.diagnostics
+    )
+
+
+# -- the registry gate --------------------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "name", [problem.name for problem in all_problems()]
+)
+def test_registry_model_lints_clean(name):
+    """Tier-1 gate: no shipped model may carry a WARNING+ finding."""
+    report = lint_problem(get_problem(name))
+    assert actionable(report) == [], report.render()
+
+
+def test_registry_candidate_space_estimates_present():
+    # Every problem-aware lint carries the INFO estimate — the instructor
+    # always sees the size of the space the model induces.
+    reports = lint_registry()
+    assert len(reports) == len(all_problems())
+    for report in reports:
+        assert any(
+            d.code in ("candidate-space", "candidate-space-blowup")
+            and d.severity in (INFO, WARNING)
+            for d in report.diagnostics
+        ), report.model

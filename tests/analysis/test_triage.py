@@ -1,0 +1,172 @@
+"""Pre-grading triage: verdict soundness, latency, and pass-through."""
+
+import time
+
+import pytest
+
+from repro.analysis import triage_record, triage_submission
+from repro.analysis.triage import SHORT_CIRCUIT_VERDICTS
+from repro.core.api import generate_feedback
+from repro.engines.verify import BoundedVerifier
+from repro.problems import get_problem
+from repro.service.records import STATIC
+
+PROBLEM = get_problem("oddTuples-6.00")
+
+UNBOUND = """def oddTuples(aTup):
+  result = len(resutl)
+  return aTup
+"""
+
+DIVERGENT = """def oddTuples(aTup):
+  flag = 1
+  while flag:
+    x = 2
+  return aTup
+"""
+
+CORRECT = """def oddTuples(aTup):
+  result = ()
+  for i in range(len(aTup)):
+    if i % 2 == 0:
+      result = result + (aTup[i],)
+  return result
+"""
+
+FIXABLE = """def oddTuples(aTup):
+  result = ()
+  for i in range(len(aTup)):
+    if i % 2 == 1:
+      result = result + (aTup[i],)
+  return result
+"""
+
+
+@pytest.fixture(scope="module")
+def verifier():
+    v = BoundedVerifier(PROBLEM.spec)
+    v.inputs
+    return v
+
+
+def triage(source, verifier):
+    return triage_submission(
+        source, PROBLEM.spec, PROBLEM.model, verifier
+    )
+
+
+# -- verdicts ----------------------------------------------------------------
+
+
+def test_unbound_name_verdict(verifier):
+    result = triage(UNBOUND, verifier)
+    assert result is not None
+    assert result.verdict == "unbound_name"
+    assert result.diagnostics
+    assert result.diagnostics[0].code == "unbound-name"
+    assert result.diagnostics[0].line is not None
+    assert "resutl" in result.detail
+
+
+def test_divergent_loop_verdict(verifier):
+    result = triage(DIVERGENT, verifier)
+    assert result is not None
+    assert result.verdict == "divergent_loop"
+    assert result.diagnostics[0].code == "divergent-loop"
+
+
+def test_frontend_verdicts_reported(verifier):
+    assert triage("def oddTuples(:", verifier).verdict == "syntax_error"
+    # Arity mismatch; a wrong *name* alone is normalized away by the
+    # rewriter, which renames a lone same-arity function.
+    assert (
+        triage(
+            "def oddTuples(aTup, extra):\n  return aTup\n", verifier
+        ).verdict
+        == "bad_signature"
+    )
+
+
+def test_verdicts_agree_with_engine(verifier):
+    """Soundness spot check: every short-circuit verdict is a submission
+    the engine cannot fix either."""
+    for source in (UNBOUND, DIVERGENT):
+        report = generate_feedback(
+            source, PROBLEM.spec, PROBLEM.model, timeout_s=30,
+            verifier=verifier,
+        )
+        assert report.status == "no_fix"
+
+
+# -- pass-through ------------------------------------------------------------
+
+
+def test_correct_and_fixable_pass_through(verifier):
+    assert triage(CORRECT, verifier) is None
+    assert triage(FIXABLE, verifier) is None
+
+
+def test_insert_top_models_stay_conservative():
+    # compDeriv's BASER prepends a ChoiceStmt to every function body, so
+    # the unconditional prefix is empty and the semantic checks cannot
+    # claim anything — triage must pass through, not guess.
+    problem = get_problem("compDeriv-6.00")
+    verifier = BoundedVerifier(problem.spec)
+    source = (
+        "def computeDeriv(poly):\n"
+        "  result = len(resutl)\n"
+        "  return result\n"
+    )
+    assert (
+        triage_submission(source, problem.spec, problem.model, verifier)
+        is None
+    )
+
+
+# -- the record layer --------------------------------------------------------
+
+
+def test_triage_record_short_circuits_semantic_verdicts_only(verifier):
+    static = triage_record(
+        PROBLEM.spec, PROBLEM.model, verifier, UNBOUND
+    )
+    assert static is not None
+    assert static["status"] == STATIC
+    assert static["triage"]["verdict"] in SHORT_CIRCUIT_VERDICTS
+    assert static["triage"]["diagnostics"][0]["code"] == "unbound-name"
+    # Frontend classifications are never claimed: the ordinary pipeline
+    # answers them identically in sub-millisecond time.
+    assert (
+        triage_record(PROBLEM.spec, PROBLEM.model, verifier, "def x(:")
+        is None
+    )
+    assert (
+        triage_record(PROBLEM.spec, PROBLEM.model, verifier, FIXABLE)
+        is None
+    )
+
+
+def test_static_record_renders_diagnostics(verifier):
+    from repro.service.records import record_to_report
+
+    static = triage_record(
+        PROBLEM.spec, PROBLEM.model, verifier, UNBOUND
+    )
+    rendered = record_to_report(static).render()
+    assert "no correction can fix" in rendered
+    assert "resutl" in rendered
+
+
+# -- latency -----------------------------------------------------------------
+
+
+def test_triage_p50_under_5ms(verifier):
+    sources = [UNBOUND, DIVERGENT, CORRECT, FIXABLE]
+    times = []
+    for source in sources * 10:
+        start = time.perf_counter()
+        triage(source, verifier)
+        times.append(time.perf_counter() - start)
+    times.sort()
+    p50 = times[len(times) // 2]
+    assert p50 < 0.005, f"triage p50 {p50 * 1000:.2f}ms"

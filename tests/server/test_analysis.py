@@ -1,0 +1,107 @@
+"""FeedbackService × triage: admission short-circuit, caching, the knob."""
+
+import pytest
+
+from repro.problems import get_problem
+from repro.server import FeedbackService, warm_registry
+from repro.service import ResultCache
+from repro.service.records import STATIC
+
+PROBLEM = get_problem("oddTuples-6.00")
+
+UNBOUND = """def oddTuples(aTup):
+  result = len(resutl)
+  return aTup
+"""
+
+FIXABLE = """def oddTuples(aTup):
+  result = ()
+  for i in range(len(aTup)):
+    if i % 2 == 1:
+      result = result + (aTup[i],)
+  return result
+"""
+
+
+@pytest.fixture(scope="module")
+def warmup():
+    return warm_registry(names=["oddTuples-6.00"])
+
+
+def make_service(warmup, **kwargs):
+    kwargs.setdefault("jobs", 2)
+    kwargs.setdefault("queue_limit", 4)
+    kwargs.setdefault("default_timeout_s", 20.0)
+    return FeedbackService(warmup=warmup, **kwargs)
+
+
+class TestTriageAdmission:
+    def test_static_verdict_short_circuits_grading(self, warmup):
+        service = make_service(warmup, analysis=True)
+        outcome = service.grade("oddTuples-6.00", UNBOUND)
+        assert outcome.record["status"] == STATIC
+        assert outcome.record["triage"]["verdict"] == "unbound_name"
+        assert ":static:" in outcome.key
+        stats = service.stats()
+        assert stats["triaged"] == 1
+        assert stats["graded"] == 0
+        assert stats["analysis"] is True
+
+    def test_static_record_is_cached_under_static_key(self, warmup):
+        service = make_service(warmup, analysis=True)
+        first = service.grade("oddTuples-6.00", UNBOUND)
+        again = service.grade("oddTuples-6.00", UNBOUND)
+        assert again.cached
+        assert again.key == first.key
+        assert again.record == first.record
+        stats = service.stats()
+        assert stats["triaged"] == 1
+        assert stats["cache_hits"] == 1
+
+    def test_fixable_submission_is_not_touched(self, warmup):
+        service = make_service(warmup, analysis=True)
+        outcome = service.grade("oddTuples-6.00", FIXABLE)
+        assert outcome.record["status"] == "fixed"
+        assert outcome.record.get("triage") is None
+        assert service.stats()["triaged"] == 0
+
+    def test_metrics_expose_triage(self, warmup):
+        service = make_service(warmup, analysis=True)
+        service.grade("oddTuples-6.00", UNBOUND)
+        text = service.metrics_text()
+        # The registry is process-global, so assert presence, not counts.
+        assert 'repro_triage_total{verdict="unbound_name"}' in text
+        assert 'stage="triage"' in text
+
+
+class TestAnalysisKnob:
+    def test_off_by_flag_grades_for_real(self, warmup):
+        service = make_service(warmup, analysis=False)
+        outcome = service.grade("oddTuples-6.00", UNBOUND)
+        assert outcome.record["status"] == "no_fix"
+        assert service.stats()["triaged"] == 0
+        assert service.stats()["analysis"] is False
+
+    def test_off_service_is_blind_to_static_records(self, warmup, tmp_path):
+        # Static records live under a dedicated key space, so a shared
+        # cache never leaks them into an analysis-off configuration.
+        cache = ResultCache(tmp_path / "shared.json")
+        on = make_service(warmup, analysis=True, cache=cache)
+        off = make_service(warmup, analysis=False, cache=cache)
+        assert on.grade("oddTuples-6.00", UNBOUND).record["status"] == STATIC
+        outcome = off.grade("oddTuples-6.00", UNBOUND)
+        assert not outcome.cached
+        assert outcome.record["status"] == "no_fix"
+
+    def test_env_resolution(self, warmup, monkeypatch):
+        from repro.analysis import config
+
+        # The env var is parsed once per process; reset the cache so the
+        # patched value is actually consulted.
+        monkeypatch.setattr(config, "_default", None)
+        monkeypatch.setattr(config, "_env_analysis", None)
+        monkeypatch.setenv("REPRO_ANALYSIS", "off")
+        assert make_service(warmup).analysis is False
+        monkeypatch.setattr(config, "_env_analysis", None)
+        monkeypatch.setenv("REPRO_ANALYSIS", "on")
+        assert make_service(warmup).analysis is True
