@@ -21,6 +21,10 @@ bounded space is large enough that per-invocation warmup is a real cost) and the
   pure-Python CPU work, so the thread executor is GIL-bound to ~one
   core regardless of ``--jobs``; the process executor's preforked
   workers are where extra cores actually become throughput.
+- **fleet tier** — what the routing layer costs and buys: added p50 on
+  a warm cache hit through an in-process router (target ≤ 1ms), and the
+  same miss stream against one backend *process* vs a 2-backend
+  subprocess fleet behind the router (≥ 1.8x on a ≥4-core runner).
 
 A session finalizer writes ``BENCH_serve.json`` at the repo root and the
 final tests enforce the CI contracts: warm cache-miss p50 at least 2x
@@ -121,7 +125,9 @@ def _write_serve_json():
             f"{WARM_SUBMISSIONS} warm cache-miss requests vs "
             f"{ZIPF_REQUESTS} zipf(1.2)-resubmission requests; "
             f"cache-miss scaling at {SCALE_WORKERS}-way concurrency, "
-            f"thread vs process executor"
+            f"thread vs process executor; fleet: router warm-hit "
+            f"overhead + {FLEET_SUBMISSIONS}-submission miss stream, "
+            f"1 vs 2 backend processes"
         ),
         "unix_time": time.time(),
         **_RESULTS,
@@ -402,6 +408,216 @@ def test_process_scaling_contract():
     assert speedup >= 2.0, (
         f"process executor is only {speedup:.2f}x the thread executor "
         f"on cache misses with {SCALE_WORKERS} workers"
+    )
+
+
+# -- Fleet tier: router overhead + N-node cache-miss scaling --------------
+
+FLEET_SUBMISSIONS = int(os.environ.get("REPRO_BENCH_FLEET_N", "24"))
+ROUTER_HIT_SAMPLES = int(os.environ.get("REPRO_BENCH_ROUTER_HIT_N", "120"))
+#: The published router-overhead target (added warm-hit p50); the hard
+#: assertion below is looser because a shared runner's scheduling jitter
+#: routinely exceeds 1ms, but the measured number lands in the JSON.
+ROUTER_OVERHEAD_TARGET_MS = 1.0
+
+
+@pytest.fixture(scope="module")
+def fleet_sources():
+    """A larger distinct-submission pool than ``submissions``: fleet
+    scaling splits the miss stream across N backends, so each node must
+    still see enough solves for a stable rate."""
+    from repro.service.canonical import canonicalize
+
+    problem = get_problem(PROBLEM_NAME)
+    corpus = generate_corpus(
+        problem, incorrect_count=FLEET_SUBMISSIONS, seed=13
+    )
+    seen, sources = set(), []
+    for submission in corpus.incorrect:
+        digest = canonicalize(submission.source, problem.spec).digest
+        if digest not in seen:
+            seen.add(digest)
+            sources.append(submission.source)
+    return sources
+
+
+def test_router_warm_hit_overhead(served, submissions):
+    """What the routing tier adds on the cheapest path: a warm cache
+    hit, direct-to-backend vs through an in-process router fronting the
+    *same* backend. Samples interleave, so runner drift charges both
+    sides equally."""
+    from repro.fleet import FleetRouter
+
+    _, direct = served
+    sources, _ = submissions
+    source = sources[0]
+    router = FleetRouter(
+        [f"{direct.host}:{direct.port}"], problems=[PROBLEM_NAME]
+    )
+    router.serve_in_thread()
+    routed = FeedbackClient(router.host, router.port, timeout_s=TIMEOUT_S)
+    try:
+        # One untimed pass each: ensures the record is cached (this test
+        # must stand alone in the CI fleet job) and both keep-alive
+        # connections are established before sampling starts.
+        direct.grade(PROBLEM_NAME, source, timeout_s=TIMEOUT_S)
+        out = routed.grade(PROBLEM_NAME, source, timeout_s=TIMEOUT_S)
+        assert out["cached"] is True
+        direct_samples, routed_samples = [], []
+        for _ in range(ROUTER_HIT_SAMPLES):
+            start = time.perf_counter()
+            assert direct.grade(
+                PROBLEM_NAME, source, timeout_s=TIMEOUT_S
+            )["cached"]
+            direct_samples.append(time.perf_counter() - start)
+            start = time.perf_counter()
+            assert routed.grade(
+                PROBLEM_NAME, source, timeout_s=TIMEOUT_S
+            )["cached"]
+            routed_samples.append(time.perf_counter() - start)
+    finally:
+        routed.close()
+        router.close()
+    direct_p = _percentiles(direct_samples)
+    routed_p = _percentiles(routed_samples)
+    added_ms = (routed_p["p50"] - direct_p["p50"]) * 1000.0
+    _RESULTS.setdefault("fleet", {})["router_warm_hit"] = {
+        "samples": ROUTER_HIT_SAMPLES,
+        "direct_p50_ms": direct_p["p50"] * 1000.0,
+        "routed_p50_ms": routed_p["p50"] * 1000.0,
+        "added_p50_ms": added_ms,
+        "target_added_p50_ms": ROUTER_OVERHEAD_TARGET_MS,
+    }
+    print(
+        f"\nrouter warm-hit overhead: +{added_ms:.3f}ms p50 "
+        f"({direct_p['p50'] * 1000:.3f}ms direct, "
+        f"{routed_p['p50'] * 1000:.3f}ms routed; "
+        f"target +{ROUTER_OVERHEAD_TARGET_MS}ms)"
+    )
+    # Sanity ceiling, not the target: one routed hop must stay firmly
+    # sub-solve (a solve is tens of ms at minimum).
+    assert added_ms <= 25.0, _RESULTS["fleet"]["router_warm_hit"]
+
+
+def _fleet_cache_miss_throughput(n, sources, log_dir) -> dict:
+    """Distinct submissions through an N-backend subprocess fleet.
+
+    Unlike the in-process executor scaling above, each backend is a real
+    ``repro.cli serve`` process — its own interpreter and GIL — so this
+    measures what the routing tier itself scales to."""
+    from repro.fleet import start_fleet
+
+    fleet = start_fleet(
+        n,
+        only=[PROBLEM_NAME],
+        jobs=SCALE_WORKERS,
+        queue=256,
+        timeout_s=TIMEOUT_S,
+        log_dir=str(log_dir),
+    )
+    statuses: dict = {}
+    lock = threading.Lock()
+    errors: list = []
+
+    def drive(lane):
+        client = fleet.client(timeout_s=120.0)
+        try:
+            for source in lane:
+                out = client.grade(PROBLEM_NAME, source, timeout_s=TIMEOUT_S)
+                assert not out["cached"] and not out["deduped"]
+                status = out["record"]["status"]
+                with lock:
+                    statuses[status] = statuses.get(status, 0) + 1
+        except Exception as exc:  # pragma: no cover - surfaced below
+            errors.append(exc)
+        finally:
+            client.close()
+
+    try:
+        lanes = [
+            list(sources[lane::SCALE_WORKERS])
+            for lane in range(SCALE_WORKERS)
+        ]
+        threads = [
+            threading.Thread(target=drive, args=(lane,)) for lane in lanes
+        ]
+        start = time.perf_counter()
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        elapsed = time.perf_counter() - start
+        assert not errors, errors
+        stats_client = fleet.client()
+        try:
+            graded = {
+                node: payload.get("graded", 0)
+                for node, payload in stats_client.stats()["nodes"].items()
+            }
+        finally:
+            stats_client.close()
+    finally:
+        fleet.stop()
+    return {
+        "backends": n,
+        "requests": len(sources),
+        "seconds": elapsed,
+        "req_per_s": len(sources) / elapsed,
+        "by_status": statuses,
+        "graded_per_node": graded,
+    }
+
+
+def test_fleet_cache_miss_scaling(fleet_sources, tmp_path_factory):
+    """The same miss stream against one backend process and against a
+    2-backend fleet, both behind the router."""
+    single = _fleet_cache_miss_throughput(
+        1, fleet_sources, tmp_path_factory.mktemp("fleet-1")
+    )
+    duo = _fleet_cache_miss_throughput(
+        2, fleet_sources, tmp_path_factory.mktemp("fleet-2")
+    )
+    _RESULTS.setdefault("fleet", {})["scaling"] = {
+        "client_threads": SCALE_WORKERS,
+        "cpu_count": os.cpu_count(),
+        "single": single,
+        "n2": duo,
+        "n2_vs_single_speedup": duo["req_per_s"] / single["req_per_s"],
+    }
+    # Both fleets settled every submission with a real verdict, and the
+    # 2-node ring actually spread the work.
+    for run in (single, duo):
+        assert sum(run["by_status"].values()) == len(fleet_sources)
+        assert run["by_status"].get("error", 0) == 0, run
+    assert single["by_status"] == duo["by_status"]
+    assert len(duo["graded_per_node"]) == 2
+    assert all(count > 0 for count in duo["graded_per_node"].values()), duo
+
+
+def test_fleet_scaling_contract():
+    """CI contract: on a ≥4-core runner, 2 backend processes clear
+    ≥1.8x one backend's cache-miss rate through the same router.
+
+    Each backend is GIL-bound to ~one core on this pure-Python workload,
+    so two processes have two cores of budget — minus routing overhead,
+    1.8x is the conservative pin. Fewer cores can't demonstrate the
+    parallelism; the measurement is recorded but not enforced."""
+    scaling = _RESULTS["fleet"]["scaling"]
+    speedup = scaling["n2_vs_single_speedup"]
+    print(
+        f"\nfleet n2-vs-single cache-miss speedup: {speedup:.2f}x "
+        f"({scaling['client_threads']} client threads, "
+        f"{scaling['cpu_count']} cores)"
+    )
+    if (os.cpu_count() or 1) < 4:
+        pytest.skip(
+            f"fleet scaling contract needs >=4 cores (have "
+            f"{os.cpu_count()}); measured {speedup:.2f}x recorded in "
+            f"BENCH_serve.json"
+        )
+    assert speedup >= 1.8, (
+        f"2-backend fleet is only {speedup:.2f}x one backend on cache "
+        f"misses"
     )
 
 

@@ -12,7 +12,14 @@ Subcommands:
   submission timed out or errored;
 - ``serve`` — run the persistent feedback server (warm precompiled
   problems, admission queue, shared result cache, process-sharded
-  grading executors on multi-core machines);
+  grading executors on multi-core machines); ``--fleet N`` launches N
+  backend server processes fronted by one consistent-hashing router,
+  ``--store`` swaps the private cache file for the shared append-log
+  store tier every backend reads through;
+- ``route`` — run just the fleet front router over already-running
+  backends (``host:port`` each);
+- ``cache`` — inspect (``stats``) or compact (``compact``) a shared
+  result-store log without stopping the fleet;
 - ``table1`` — regenerate the Table 1 experiment on synthetic corpora;
 - ``lint`` — static analysis over ``.eml`` error models (shadowed /
   dead / ill-typed / zero-cost rules, candidate-space estimates); exits
@@ -28,6 +35,7 @@ import argparse
 import os
 import pathlib
 import sys
+import time
 from typing import Optional
 
 from repro.compile import BACKENDS, set_default_backend
@@ -255,7 +263,10 @@ def cmd_serve(args: argparse.Namespace) -> int:
         warm_registry,
     )
     from repro.service import ResultCache
+    from repro.service.store import StoreClient
 
+    if args.fleet is not None:
+        return _serve_fleet(args)
     if args.jobs < 1:
         raise SystemExit("--jobs must be >= 1")
     if args.queue < 0:
@@ -317,7 +328,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
     )
     print(f"warmup done: {len(warmup)} problems in {warmup.total_time_s:.2f}s")
 
-    cache = ResultCache(args.cache) if args.cache else ResultCache()
+    if args.store:
+        # The fleet-shared store tier: append-log persistence with
+        # read-through, so verdicts from sibling backends become local
+        # cache hits without a restart.
+        cache = StoreClient(args.store)
+    elif args.cache:
+        cache = ResultCache(args.cache)
+    else:
+        cache = ResultCache()
     if executor == "process":
         workers = args.workers if args.workers is not None else args.jobs
         sharding = "sharded" if args.shard_problems else "replicated"
@@ -340,14 +359,16 @@ def cmd_serve(args: argparse.Namespace) -> int:
         prime_workers=not args.no_prime,
         breaker_threshold=args.breaker_threshold,
         breaker_reset_s=args.breaker_reset,
+        node_id=args.node_id,
     )
     server = FeedbackHTTPServer(
         service, host=args.host, port=args.port, verbose=args.verbose
     )
+    storage = args.store or args.cache or "in-memory"
     print(
         f"serving on http://{args.host}:{server.port}  "
-        f"(executor={service.executor}, jobs={args.jobs}, "
-        f"queue={args.queue}, cache={args.cache or 'in-memory'})"
+        f"(node={service.node_id}, executor={service.executor}, "
+        f"jobs={args.jobs}, queue={args.queue}, cache={storage})"
     )
     try:
         server.serve_forever()
@@ -355,6 +376,90 @@ def cmd_serve(args: argparse.Namespace) -> int:
         print("\ndraining in-flight gradings ...")
         server.shutdown_gracefully(drain=True)
         print("bye")
+    finally:
+        if isinstance(cache, StoreClient):
+            cache.close()  # stop the flush thread, push the last batch
+    return 0
+
+
+def _serve_fleet(args: argparse.Namespace) -> int:
+    """``serve --fleet N``: N backend processes behind one router."""
+    from repro.fleet import start_fleet
+
+    if args.fleet < 1:
+        raise SystemExit("--fleet must be >= 1")
+    print(f"launching fleet: {args.fleet} backend(s) + router ...")
+    fleet = start_fleet(
+        args.fleet,
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        queue=args.queue,
+        executor=args.executor,
+        workers=args.workers,
+        only=args.only,
+        store=args.store,
+        engine=args.engine,
+        timeout_s=args.timeout,
+        no_prime=args.no_prime,
+        log_dir=args.fleet_logs,
+        progress=print,
+    )
+    for backend in fleet.backends:
+        print(f"  backend {backend.node_id} on http://{backend.address}")
+    print(
+        f"routing on http://{fleet.host}:{fleet.port}  "
+        f"(backends={args.fleet}, store={args.store or 'per-node'})"
+    )
+    try:
+        while True:
+            time.sleep(3600)
+    except KeyboardInterrupt:
+        print("\nstopping fleet (router first, then backend drains) ...")
+        fleet.stop()
+        print("bye")
+    return 0
+
+
+def cmd_route(args: argparse.Namespace) -> int:
+    """Run just the front router over already-running backends."""
+    from repro.fleet import FleetRouter
+
+    router = FleetRouter(
+        args.backends,
+        host=args.host,
+        port=args.port,
+        breaker_threshold=args.breaker_threshold,
+        breaker_reset_s=args.breaker_reset,
+        problems=args.only,
+    )
+    print(
+        f"routing on http://{args.host}:{args.port or '(ephemeral)'}  "
+        f"-> {len(args.backends)} backend(s): {', '.join(args.backends)}"
+    )
+    try:
+        router.run()
+    except KeyboardInterrupt:
+        print("\nbye")
+    return 0
+
+
+def cmd_cache(args: argparse.Namespace) -> int:
+    """Inspect or compact a shared result-store log."""
+    import json as _json
+
+    from repro.service.store import ResultStore
+
+    store = ResultStore(args.path)
+    if not store.path.exists():
+        raise SystemExit(f"no store log at {store.path}")
+    if args.action == "compact":
+        before = store.stats()
+        after = store.compact()
+        payload = {"before": before, "after": after}
+    else:
+        payload = store.stats()
+    print(_json.dumps(payload, indent=2, sort_keys=True))
     return 0
 
 
@@ -507,6 +612,34 @@ def main(argv: Optional[list] = None) -> int:
         "--cache", default=None, help="persistent result-cache JSON file"
     )
     serve.add_argument(
+        "--store",
+        default=None,
+        help="shared result-store log (append-only JSONL): backends "
+        "write behind and read through it, so a fleet shares verdicts; "
+        "outranks --cache",
+    )
+    serve.add_argument(
+        "--node-id",
+        default=None,
+        help="stable identity reported in /healthz and /stats (default: "
+        "host-pid; the fleet launcher assigns node-0..N-1)",
+    )
+    serve.add_argument(
+        "--fleet",
+        type=int,
+        default=None,
+        metavar="N",
+        help="launch N backend server processes behind one consistent-"
+        "hashing front router listening on --host:--port",
+    )
+    serve.add_argument(
+        "--fleet-logs",
+        default=None,
+        metavar="DIR",
+        help="with --fleet: write each backend's stdout/stderr to "
+        "DIR/node-K.log (default: discarded)",
+    )
+    serve.add_argument(
         "--timeout",
         type=float,
         default=45.0,
@@ -556,6 +689,51 @@ def main(argv: Optional[list] = None) -> int:
         "'worker.crash:n=1,cache.write:p=0.5:seed=7'; also settable via "
         "REPRO_FAULTS",
     )
+
+    route = sub.add_parser(
+        "route",
+        help="run the fleet front router over already-running backends",
+    )
+    route.add_argument(
+        "backends",
+        nargs="+",
+        metavar="HOST:PORT",
+        help="backend feedback servers to route across",
+    )
+    route.add_argument("--host", default="127.0.0.1")
+    route.add_argument("--port", type=int, default=8321)
+    route.add_argument(
+        "--only",
+        nargs="*",
+        default=None,
+        help="route only these problems (must match the backends' "
+        "--only set)",
+    )
+    route.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=3,
+        help="transport failures before a backend's breaker opens and "
+        "its keys rebalance onto ring neighbors",
+    )
+    route.add_argument(
+        "--breaker-reset",
+        type=float,
+        default=5.0,
+        help="seconds an open backend breaker waits before one "
+        "half-open probe request",
+    )
+
+    cache_cmd = sub.add_parser(
+        "cache", help="inspect or compact a shared result-store log"
+    )
+    cache_cmd.add_argument(
+        "action",
+        choices=["stats", "compact"],
+        help="stats: log health (live entries, dead lines, generation); "
+        "compact: rewrite the log without superseded lines",
+    )
+    cache_cmd.add_argument("path", help="the store log file")
 
     lint = sub.add_parser(
         "lint", help="static analysis over .eml error models"
@@ -651,6 +829,8 @@ def main(argv: Optional[list] = None) -> int:
         "feedback": cmd_feedback,
         "batch": cmd_batch,
         "serve": cmd_serve,
+        "route": cmd_route,
+        "cache": cmd_cache,
         "table1": cmd_table1,
         "lint": cmd_lint,
         "coverage": cmd_coverage,

@@ -1,15 +1,22 @@
-"""Prometheus text exposition (format version 0.0.4) from a snapshot.
+"""Prometheus text exposition (format version 0.0.4), both directions.
 
-One function, :func:`render`: a :meth:`~repro.obs.registry.
-MetricsRegistry.snapshot` in, the ``GET /metrics`` body out. Histograms
-expand to the conventional ``_bucket{le=...}`` cumulative series plus
+:func:`render`: a :meth:`~repro.obs.registry.MetricsRegistry.snapshot`
+in, the ``GET /metrics`` body out. Histograms expand to the
+conventional ``_bucket{le=...}`` cumulative series plus
 ``_sum``/``_count``; label values are escaped per the exposition format
 (backslash, double-quote, newline).
+
+:func:`parse` is the inverse: exposition text back into snapshot form,
+ready for :meth:`~repro.obs.registry.MetricsRegistry.merge`. The fleet
+front router is built on the round trip — it scrapes each backend's
+``/metrics``, parses the texts into snapshots, merges them with its own
+registry and renders one fleet-wide exposition, without the backends
+ever shipping anything but their ordinary scrape body.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
 
@@ -77,3 +84,169 @@ def render(snapshot: dict) -> str:
                 f"{cell['count']}"
             )
     return "\n".join(lines) + ("\n" if lines else "")
+
+
+def _unescape(value: str) -> str:
+    out: List[str] = []
+    index = 0
+    while index < len(value):
+        char = value[index]
+        if char == "\\" and index + 1 < len(value):
+            escaped = value[index + 1]
+            out.append(
+                {"\\": "\\", '"': '"', "n": "\n"}.get(escaped, "\\" + escaped)
+            )
+            index += 2
+        else:
+            out.append(char)
+            index += 1
+    return "".join(out)
+
+
+def _parse_labels(text: str) -> List[Tuple[str, str]]:
+    """``name="value"`` pairs from the inside of one ``{...}`` block."""
+    pairs: List[Tuple[str, str]] = []
+    index = 0
+    while index < len(text):
+        if text[index] in ", ":
+            index += 1
+            continue
+        equals = text.index("=", index)
+        name = text[index:equals].strip()
+        if text[equals + 1] != '"':
+            raise ValueError(f"unquoted label value at {text[equals:]!r}")
+        cursor = equals + 2
+        value: List[str] = []
+        while text[cursor] != '"':
+            if text[cursor] == "\\":
+                value.append(text[cursor : cursor + 2])
+                cursor += 2
+            else:
+                value.append(text[cursor])
+                cursor += 1
+        pairs.append((name, _unescape("".join(value))))
+        index = cursor + 1
+    return pairs
+
+
+def _parse_sample(line: str) -> Tuple[str, List[Tuple[str, str]], float]:
+    """One exposition sample line → (metric name, labels, value)."""
+    if "{" in line:
+        name, rest = line.split("{", 1)
+        labels_text, value_text = rest.rsplit("}", 1)
+        return name.strip(), _parse_labels(labels_text), float(value_text)
+    name, value_text = line.rsplit(None, 1)
+    return name.strip(), [], float(value_text)
+
+
+class _HistogramBuilder:
+    """Accumulates one histogram's ``_bucket``/``_sum``/``_count`` series
+    back into per-bucket (non-cumulative) snapshot cells."""
+
+    def __init__(self, help_text: str):
+        self.help = help_text
+        self.labelnames: Optional[Tuple[str, ...]] = None
+        # key -> {bound: cumulative count}, plus sum/count per key.
+        self.buckets: Dict[Tuple[str, ...], Dict[float, float]] = {}
+        self.sums: Dict[Tuple[str, ...], float] = {}
+        self.counts: Dict[Tuple[str, ...], float] = {}
+
+    def feed(self, suffix: str, labels: List[Tuple[str, str]], value: float):
+        if suffix == "bucket":
+            bound_text = dict(labels)["le"]
+            labels = [(name, val) for name, val in labels if name != "le"]
+            bound = float("inf") if bound_text == "+Inf" else float(bound_text)
+        if self.labelnames is None:
+            self.labelnames = tuple(name for name, _ in labels)
+        key = tuple(val for _, val in labels)
+        if suffix == "bucket":
+            self.buckets.setdefault(key, {})[bound] = value
+        elif suffix == "sum":
+            self.sums[key] = value
+        elif suffix == "count":
+            self.counts[key] = value
+
+    def entry(self) -> dict:
+        bounds = sorted(
+            {
+                bound
+                for cell in self.buckets.values()
+                for bound in cell
+                if bound != float("inf")
+            }
+        )
+        values = {}
+        for key, cumulative in self.buckets.items():
+            counts: List[float] = []
+            previous = 0.0
+            for bound in bounds:
+                at_bound = cumulative.get(bound, previous)
+                counts.append(at_bound - previous)
+                previous = at_bound
+            total = cumulative.get(float("inf"), previous)
+            counts.append(total - previous)
+            values[key] = {
+                "counts": [int(count) for count in counts],
+                "sum": self.sums.get(key, 0.0),
+                "count": int(self.counts.get(key, total)),
+            }
+        return {
+            "kind": "histogram",
+            "help": self.help,
+            "labelnames": self.labelnames or (),
+            "buckets": tuple(bounds),
+            "values": values,
+        }
+
+
+def parse(text: str) -> dict:
+    """Exposition text → snapshot form (the inverse of :func:`render`).
+
+    Tolerant of foreign expositions: unknown ``TYPE``s and malformed
+    lines are skipped, untyped samples default to gauges (merging a
+    scrape must never fail because one backend grew a new metric).
+    """
+    helps: Dict[str, str] = {}
+    types: Dict[str, str] = {}
+    snapshot: dict = {}
+    histograms: Dict[str, _HistogramBuilder] = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] in ("HELP", "TYPE"):
+                target = helps if parts[1] == "HELP" else types
+                target[parts[2]] = _unescape(parts[3]) if len(parts) > 3 else ""
+            continue
+        try:
+            name, labels, value = _parse_sample(line)
+        except (ValueError, IndexError, KeyError):
+            continue
+        base, _, suffix = name.rpartition("_")
+        if suffix in ("bucket", "sum", "count") and types.get(base) == (
+            "histogram"
+        ):
+            builder = histograms.get(base)
+            if builder is None:
+                builder = histograms[base] = _HistogramBuilder(
+                    helps.get(base, "")
+                )
+            builder.feed(suffix, labels, value)
+            continue
+        kind = types.get(name, "gauge")
+        if kind not in ("counter", "gauge"):
+            continue
+        entry = snapshot.get(name)
+        if entry is None:
+            entry = snapshot[name] = {
+                "kind": kind,
+                "help": helps.get(name, ""),
+                "labelnames": tuple(label for label, _ in labels),
+                "values": {},
+            }
+        entry["values"][tuple(val for _, val in labels)] = value
+    for name, builder in histograms.items():
+        snapshot[name] = builder.entry()
+    return snapshot

@@ -22,7 +22,12 @@ the entire pipeline — so a request never recompiles anything.
   (``POST /grade``, ``GET /problems``, ``GET /healthz``, ``GET
   /stats``, ``GET /metrics`` Prometheus exposition, ``X-Request-Id``
   propagation);
-- :mod:`repro.server.client` — stdlib client used by benchmarks and CI.
+- :mod:`repro.server.codec` — the request/response grammar both
+  serving tiers share: the backend daemon and the fleet front router
+  (:mod:`repro.fleet`) validate and encode with the same functions, so
+  a client cannot tell which tier answered;
+- :mod:`repro.server.client` — stdlib client used by benchmarks and CI
+  (speaks to either tier).
 
 Telemetry (see :mod:`repro.obs`) is cross-layer: every grading is traced
 per stage, worker processes ship metric deltas back with each result,
@@ -33,6 +38,7 @@ Start it with ``repro-feedback serve --port 8321 --jobs 4`` (or
 default on a multi-core box.
 """
 
+from repro.server import codec
 from repro.server.client import FeedbackClient, ServerError
 from repro.server.http import FeedbackHTTPServer, FeedbackRequestHandler
 from repro.server.service import (
@@ -59,6 +65,7 @@ from repro.server.warm import (
 
 __all__ = [
     "EXECUTORS",
+    "codec",
     "FeedbackClient",
     "FeedbackHTTPServer",
     "FeedbackRequestHandler",

@@ -1,10 +1,18 @@
-"""A tiny stdlib client for the feedback daemon.
+"""A tiny stdlib client for the feedback daemon — or the fleet router.
 
 Used by the benchmark harness, the CI smoke test, and anyone scripting
 against a running server without wanting to hand-roll ``http.client``
 calls. One :class:`FeedbackClient` holds a persistent connection
 (keep-alive — the server speaks HTTP/1.1), so request latency measures
 grading, not TCP handshakes.
+
+Both serving tiers speak the :mod:`repro.server.codec` protocol, so the
+same client talks to a single backend daemon or to a
+:class:`~repro.fleet.router.FleetRouter` fronting many of them without
+knowing which: ``grade``/``problems``/``healthz``/``stats``/``metrics``
+work identically (the router aggregates the read endpoints across its
+backends), and :meth:`FeedbackClient.nodes` reads the router's
+node-management view (a single backend answers it 404).
 """
 
 from __future__ import annotations
@@ -17,12 +25,24 @@ import time
 from typing import Callable, Optional, Union
 
 from repro.obs import new_request_id
+from repro.server.codec import REQUEST_ID_HEADER, encode_grade_request
 
 class _DeadBeforeSend(http.client.RemoteDisconnected):
     """The request bytes never (fully) reached the server — the socket
     was already closed when we wrote. Same meaning as stdlib
     ``RemoteDisconnected`` (which fires when the close is noticed one
     step later, at ``getresponse``), hence the subclass."""
+
+
+class _DeadBeforeResponse(http.client.RemoteDisconnected):
+    """The connection was reset in place of the status line — zero
+    response bytes arrived. The RST-flavored twin of the stdlib's
+    FIN-flavored ``RemoteDisconnected``: both come from the same stale
+    keep-alive race (our request crossing the server's close on the
+    wire; whether the kernel answers with FIN or RST is a timing
+    accident), hence the subclass. A reset while the response *body* is
+    being read is not this — by then the server demonstrably processed
+    the request — and stays a plain ``ConnectionResetError``."""
 
 
 #: Failures that mean the server closed a kept-alive connection before
@@ -35,7 +55,7 @@ class _DeadBeforeSend(http.client.RemoteDisconnected):
 #: the server demonstrably *did* receive the request — are what must
 #: never retry.
 _STALE_KEEPALIVE_ERRORS = (
-    http.client.RemoteDisconnected,  # _DeadBeforeSend included
+    http.client.RemoteDisconnected,  # _DeadBefore{Send,Response} included
     http.client.BadStatusLine,
 )
 
@@ -139,7 +159,10 @@ class FeedbackClient:
             conn.request(method, path, body=encoded, headers=headers)
         except (BrokenPipeError, ConnectionResetError) as exc:
             raise _DeadBeforeSend(str(exc)) from exc
-        response = conn.getresponse()
+        try:
+            response = conn.getresponse()
+        except ConnectionResetError as exc:
+            raise _DeadBeforeResponse(str(exc)) from exc
         data = response.read()
         self._conn_used = True  # a whole response arrived: truly kept alive
         if raw and response.status == 200:
@@ -173,16 +196,14 @@ class FeedbackClient:
         ``X-Request-Id`` (generated here unless supplied) that the server
         propagates through service and worker and echoes back in the
         response — one id to grep across client and server logs."""
-        body = {"problem": problem, "source": source}
-        if engine is not None:
-            body["engine"] = engine
-        if timeout_s is not None:
-            body["timeout_s"] = timeout_s
+        body = encode_grade_request(
+            problem, source, engine=engine, timeout_s=timeout_s
+        )
         return self._request(
             "POST",
             "/grade",
             body,
-            extra_headers={"X-Request-Id": request_id or new_request_id()},
+            extra_headers={REQUEST_ID_HEADER: request_id or new_request_id()},
         )
 
     #: HTTP statuses :meth:`grade_with_retry` retries: overload (429,
@@ -254,3 +275,15 @@ class FeedbackClient:
     def metrics(self) -> str:
         """The raw ``GET /metrics`` Prometheus exposition text."""
         return self._request("GET", "/metrics", raw=True)
+
+    def nodes(self) -> dict:
+        """The fleet router's ``GET /nodes`` view: hash-ring membership,
+        per-backend breaker state, drain flags. Only a router answers
+        this; a single backend daemon returns 404 (``ServerError``)."""
+        return self._request("GET", "/nodes")
+
+    def drain_node(self, name: str, drain: bool = True) -> dict:
+        """Mark one router backend as (un)draining — no new routed work
+        while draining; in-flight requests finish normally."""
+        verb = "drain" if drain else "undrain"
+        return self._request("POST", f"/nodes/{name}/{verb}")

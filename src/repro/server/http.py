@@ -22,6 +22,10 @@ the service (and on to the grading worker) and echoed back on the
 response; absent one, the service generates an id. Errors are JSON
 too: 400 malformed request, 404 unknown problem or path, 429 queue
 full (with a ``Retry-After`` header), 503 draining.
+
+The request/response shapes live in :mod:`repro.server.codec`, shared
+with the fleet front router and the client — the three tiers speak one
+protocol by construction.
 """
 
 from __future__ import annotations
@@ -32,22 +36,14 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Optional, Tuple
 
 from repro.obs import CONTENT_TYPE as METRICS_CONTENT_TYPE
+from repro.server import codec
+from repro.server.codec import DRAIN_CAP_BYTES, MAX_BODY_BYTES
 from repro.server.service import (
     FeedbackService,
     QueueFull,
     ServiceClosed,
     UnknownProblem,
 )
-
-#: Refuse request bodies past this size: the biggest real submissions are
-#: a few KB, so anything megabytes-large is a mistake or abuse.
-MAX_BODY_BYTES = 1 << 20
-
-#: Oversized bodies up to this bound are read and discarded before the
-#: 400 goes out: replying while the client is still mid-send makes the
-#: kernel RST the connection and the client never sees the error. Beyond
-#: the bound the connection is simply closed (draining would be a DoS).
-DRAIN_CAP_BYTES = 8 * MAX_BODY_BYTES
 
 
 class FeedbackRequestHandler(BaseHTTPRequestHandler):
@@ -97,7 +93,7 @@ class FeedbackRequestHandler(BaseHTTPRequestHandler):
     def _error(
         self, status: int, message: str, close: bool = False, **extra
     ) -> None:
-        self._send_json(status, {"error": message, **extra}, close=close)
+        self._send_json(status, codec.error_body(message, **extra), close=close)
 
     # -- GET ----------------------------------------------------------------
 
@@ -131,7 +127,7 @@ class FeedbackRequestHandler(BaseHTTPRequestHandler):
         except ValueError as exc:
             self._error(400, str(exc), close=True)
             return
-        request_id = self.headers.get("X-Request-Id") or None
+        request_id = self.headers.get(codec.REQUEST_ID_HEADER) or None
         try:
             outcome = self.service.grade(request_id=request_id, **request)
         except UnknownProblem as exc:
@@ -153,22 +149,11 @@ class FeedbackRequestHandler(BaseHTTPRequestHandler):
             self._error(503, "server is draining")
         else:
             headers = (
-                (("X-Request-Id", outcome.request_id),)
+                ((codec.REQUEST_ID_HEADER, outcome.request_id),)
                 if outcome.request_id
                 else None
             )
-            self._send_json(
-                200,
-                {
-                    "record": outcome.record,
-                    "key": outcome.key,
-                    "cached": outcome.cached,
-                    "deduped": outcome.deduped,
-                    "wall_time": round(outcome.wall_time, 4),
-                    "request_id": outcome.request_id,
-                },
-                headers=headers,
-            )
+            self._send_json(200, codec.grade_response(outcome), headers=headers)
 
     def _read_request(self) -> dict:
         length = self.headers.get("Content-Length")
@@ -182,33 +167,7 @@ class FeedbackRequestHandler(BaseHTTPRequestHandler):
             raise ValueError(
                 f"request body must be 1..{MAX_BODY_BYTES} bytes"
             )
-        try:
-            payload = json.loads(self.rfile.read(length))
-        except json.JSONDecodeError as exc:
-            raise ValueError(f"request body is not JSON: {exc}") from None
-        if not isinstance(payload, dict):
-            raise ValueError("request body must be a JSON object")
-        problem = payload.get("problem")
-        source = payload.get("source")
-        if not isinstance(problem, str) or not problem:
-            raise ValueError("'problem' must be a non-empty string")
-        if not isinstance(source, str) or not source:
-            raise ValueError("'source' must be a non-empty string")
-        request = {"problem": problem, "source": source}
-        engine = payload.get("engine")
-        if engine is not None:
-            if not isinstance(engine, str):
-                raise ValueError("'engine' must be a string")
-            request["engine"] = engine
-        timeout_s = payload.get("timeout_s")
-        if timeout_s is not None:
-            if not isinstance(timeout_s, (int, float)) or timeout_s <= 0:
-                raise ValueError("'timeout_s' must be a positive number")
-            request["timeout_s"] = float(timeout_s)
-        unknown = set(payload) - {"problem", "source", "engine", "timeout_s"}
-        if unknown:
-            raise ValueError(f"unknown request fields {sorted(unknown)}")
-        return request
+        return codec.decode_grade_request(self.rfile.read(length))
 
 
 class FeedbackHTTPServer(ThreadingHTTPServer):

@@ -35,6 +35,8 @@ other's entries.
 from __future__ import annotations
 
 import logging
+import os
+import socket
 import threading
 import time
 from dataclasses import dataclass
@@ -191,6 +193,7 @@ class FeedbackService:
         breaker_threshold: int = 5,
         breaker_reset_s: float = 30.0,
         analysis: Optional[bool] = None,
+        node_id: Optional[str] = None,
     ):
         if jobs < 1:
             raise ValueError("jobs must be >= 1")
@@ -283,6 +286,11 @@ class FeedbackService:
         self._closed = False
         self._since_persist = 0
         self._started = time.monotonic()
+        #: Stable identity of this service instance. Explicit in a fleet
+        #: (``serve --node-id``), where the router keys its aggregated
+        #: ``/healthz``/``/stats`` views by it; the default is unique per
+        #: process and constant for the process lifetime.
+        self.node_id = node_id or f"{socket.gethostname()}-{os.getpid()}"
         self._served: Dict[str, int] = {}
         #: Per-problem and per-canonical-hash circuit breakers: repeated
         #: timeouts/crashes on one problem (or one exact submission) open
@@ -597,6 +605,7 @@ class FeedbackService:
             executor_info = self._executor.info()
         registry = global_registry()
         payload = {
+            "node_id": self.node_id,
             "uptime_s": round(time.monotonic() - self._started, 3),
             "jobs": self.jobs,
             "queue_limit": self.queue_limit,
@@ -606,6 +615,12 @@ class FeedbackService:
             "explorer": self.explorer,
             "analysis": self.analysis,
             "executor": executor_info,
+            #: Which grading unit owns which problems: the worker shard
+            #: map in sharded process mode, else one shard holding the
+            #: whole warm registry (replicated workers grade anything, as
+            #: does the request thread). Stable for the process lifetime.
+            "shards": executor_info.get("assignments")
+            or {"0": sorted(self.warmup.problems)},
             "by_status": by_status,
             "avg_grade_s": round(avg_grade_s, 4),
             "breakers": self.breakers.stats(),
@@ -686,6 +701,7 @@ class FeedbackService:
             closed = self._closed
         payload = {
             "status": "draining" if closed else "ok",
+            "node_id": self.node_id,
             "problems": len(self.warmup),
             "uptime_s": round(time.monotonic() - self._started, 3),
         }

@@ -13,6 +13,9 @@ of trivially-reformatted resubmissions. This package turns
   ``(problem, model digest, canonical hash)``;
 - :mod:`repro.service.records` — JSON-serializable feedback records;
 - :mod:`repro.service.jobstore` — JSONL persistence with batch resume;
+- :mod:`repro.service.store` — the fleet-shared store tier: one
+  append-log of results many backend processes write behind and read
+  through, with WAL-style torn-tail recovery and background compaction;
 - :mod:`repro.service.workers` — shared worker-process machinery and the
   :class:`~repro.service.workers.ProcessExecutor` pool of preforked,
   pre-warmed grading workers (problem sharding, crash/timeout
@@ -36,6 +39,7 @@ from repro.service.records import (
     record_to_report,
     report_to_record,
 )
+from repro.service.store import ResultStore, StoreClient
 from repro.service.runner import (
     BatchItem,
     BatchResult,
@@ -61,6 +65,8 @@ __all__ = [
     "JobStore",
     "ProcessExecutor",
     "ResultCache",
+    "ResultStore",
+    "StoreClient",
     "default_executor",
     "resolve_executor",
     "shard_problems",

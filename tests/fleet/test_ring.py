@@ -1,0 +1,140 @@
+"""The consistent hash ring: determinism, balance, minimal movement.
+
+These are the properties the fleet's cache economics stand on: the same
+key always lands on the same backend (determinism), no backend owns a
+pathological share of the key space (balance), and membership changes
+reshuffle only the keys they must (minimal movement — a node event must
+never be a fleet-wide cache wipe).
+"""
+
+import subprocess
+import sys
+
+from repro.fleet.ring import DEFAULT_VNODES, HashRing, routing_key
+
+#: A synthetic key population big enough for stable balance statistics.
+KEYS = [routing_key(f"problem-{i % 7}", f"{i:064x}") for i in range(3000)]
+
+
+def nodes(n):
+    return [f"10.0.0.{i}:8321" for i in range(n)]
+
+
+def placement(ring):
+    return {key: ring.node_for(key) for key in KEYS}
+
+
+def test_same_key_same_node_every_time():
+    ring = HashRing(nodes(5))
+    again = HashRing(nodes(5))
+    for key in KEYS[:200]:
+        assert ring.node_for(key) == again.node_for(key)
+        assert ring.node_for(key) == ring.node_for(key)
+
+
+def test_placement_is_stable_across_processes():
+    """BLAKE2b, not the seeded builtin ``hash``: a restarted (or sibling)
+    router computes the identical placement."""
+    code = (
+        "from repro.fleet.ring import HashRing, routing_key\n"
+        "ring = HashRing(['10.0.0.%d:8321' % i for i in range(3)])\n"
+        "keys = [routing_key('p%d' % (i % 7), '%064x' % i)"
+        " for i in range(50)]\n"
+        "print(';'.join(ring.node_for(k) for k in keys))\n"
+    )
+    out = {
+        subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            check=True,
+        ).stdout
+        for _ in range(2)
+    }
+    assert len(out) == 1
+    here = HashRing(nodes(3))
+    keys = [routing_key(f"p{i % 7}", f"{i:064x}") for i in range(50)]
+    assert out.pop().strip() == ";".join(here.node_for(k) for k in keys)
+
+
+def test_balance_within_2x_of_mean():
+    """Max/mean key imbalance ≤ 2x at every contract fleet size."""
+    for n in (2, 3, 5):
+        ring = HashRing(nodes(n))
+        counts = {node: 0 for node in nodes(n)}
+        for key in KEYS:
+            counts[ring.node_for(key)] += 1
+        mean = len(KEYS) / n
+        worst = max(counts.values()) / mean
+        assert worst <= 2.0, f"N={n}: max/mean {worst:.2f}, {counts}"
+        assert min(counts.values()) > 0
+
+
+def test_node_loss_moves_only_the_lost_nodes_keys():
+    before = HashRing(nodes(5))
+    owned = placement(before)
+    after = HashRing(nodes(5))
+    after.remove(nodes(5)[2])
+    lost = nodes(5)[2]
+    for key, owner in placement(after).items():
+        if owned[key] != lost:
+            assert owner == owned[key], f"{key} moved without cause"
+        else:
+            assert owner != lost
+
+
+def test_node_join_steals_roughly_its_share_and_nothing_else():
+    before = HashRing(nodes(4))
+    owned = placement(before)
+    after = HashRing(nodes(4))
+    newcomer = "10.0.0.9:8321"
+    after.add(newcomer)
+    moved = 0
+    for key, owner in placement(after).items():
+        if owner != owned[key]:
+            # Every moved key moved *to* the newcomer.
+            assert owner == newcomer
+            moved += 1
+    # The newcomer takes about 1/5 of the space, within generous slack.
+    assert 0.5 * len(KEYS) / 5 <= moved <= 1.6 * len(KEYS) / 5
+
+
+def test_preference_order_is_the_failover_order():
+    """Losing the owner promotes exactly the second preference entry."""
+    full = HashRing(nodes(5))
+    for key in KEYS[:300]:
+        order = full.preference(key)
+        assert order[0] == full.node_for(key)
+        assert sorted(order) == full.nodes  # every node, once
+        shrunk = HashRing(nodes(5))
+        shrunk.remove(order[0])
+        assert shrunk.node_for(key) == order[1]
+
+
+def test_add_and_remove_are_idempotent():
+    ring = HashRing(nodes(3))
+    ring.add(nodes(3)[0])
+    assert len(ring) == 3
+    ring.remove("10.9.9.9:1")
+    assert len(ring) == 3
+    ring.remove(nodes(3)[0])
+    ring.remove(nodes(3)[0])
+    assert len(ring) == 2
+    assert nodes(3)[0] not in ring
+
+
+def test_single_node_owns_everything_and_empty_ring_owns_nothing():
+    lone = HashRing(["only:1"])
+    assert all(lone.node_for(key) == "only:1" for key in KEYS[:50])
+    assert lone.preference(KEYS[0]) == ["only:1"]
+    empty = HashRing()
+    assert empty.node_for(KEYS[0]) is None
+    assert empty.preference(KEYS[0]) == []
+
+
+def test_vnodes_default_and_routing_key_shape():
+    ring = HashRing(nodes(2))
+    assert ring.vnodes == DEFAULT_VNODES
+    assert routing_key("evalPoly-6.00x", "ab" * 32) == (
+        "evalPoly-6.00x:" + "ab" * 32
+    )

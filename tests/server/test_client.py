@@ -148,9 +148,10 @@ def test_stale_keepalive_is_retried_once(scripted):
     server = scripted("respond_then_close", "respond")
     client = FeedbackClient(port=server.port, timeout_s=10)
     assert client.grade("p", "src") == {"ok": True}
-    # Let the server-side close land: a request racing the FIN can die
-    # mid-exchange (ConnectionResetError), which is deliberately *not*
-    # the retried case — this test pins the idle-keep-alive case.
+    # Let the server-side close land: this test pins the clean
+    # idle-keep-alive (FIN) flavor specifically; a request racing the
+    # close can also die by RST, retried on the same policy (zero
+    # response bytes on a reused connection).
     time.sleep(0.3)
     assert client.grade("p", "src") == {"ok": True}
     # The copy aimed at the dead socket never reached the server — the

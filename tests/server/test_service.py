@@ -292,3 +292,44 @@ class TestCacheSharingUnderLoad:
         first.close()
         second = make_service(warmup, cache=ResultCache(path))
         assert second.grade("iterPower-6.00x", BUGGY).cached
+
+
+class TestNodeIdentity:
+    """The fleet router keys its aggregated views by ``node_id`` and
+    reads shard assignments from ``/stats`` — both must be present and
+    stable for the process lifetime."""
+
+    def test_explicit_node_id_in_stats_and_healthz(self, warmup):
+        service = make_service(warmup, node_id="node-7")
+        assert service.stats()["node_id"] == "node-7"
+        assert service.healthz()["node_id"] == "node-7"
+
+    def test_default_node_id_is_stable_and_unique_per_instance(self, warmup):
+        service = make_service(warmup)
+        first = service.stats()["node_id"]
+        assert first  # never empty
+        assert service.stats()["node_id"] == first
+        assert service.healthz()["node_id"] == first
+
+    def test_thread_executor_reports_one_shard_with_everything(self, warmup):
+        service = make_service(warmup, executor="thread")
+        shards = service.stats()["shards"]
+        assert shards == {"0": ["iterPower-6.00x"]}
+
+    def test_store_client_backed_service_persists_through_the_log(
+        self, warmup, tmp_path
+    ):
+        from repro.service.store import StoreClient
+
+        path = tmp_path / "results.store.jsonl"
+        first = make_service(
+            warmup,
+            cache=StoreClient(path, background=False),
+            persist_every=1,
+        )
+        first.grade("iterPower-6.00x", BUGGY)
+        first.close()
+        second = make_service(
+            warmup, cache=StoreClient(path, background=False)
+        )
+        assert second.grade("iterPower-6.00x", BUGGY).cached

@@ -1,0 +1,251 @@
+"""The shared store tier: WAL recovery, convergence, read-through.
+
+The acceptance bar from the fleet issue: the log survives byte-level
+truncation at *every* offset (losing at most the torn entries, never
+the file), and concurrent multi-client writes converge to the union.
+"""
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.service.cache import ResultCache
+from repro.service.records import RECORD_VERSION
+from repro.service.store import (
+    DEFAULT_FLUSH_EVERY,
+    ResultStore,
+    StoreClient,
+)
+
+
+def record(tag):
+    return {"v": RECORD_VERSION, "status": "fixed", "tag": tag}
+
+
+@pytest.fixture()
+def log_path(tmp_path):
+    return tmp_path / "results.store.jsonl"
+
+
+# -- ResultStore: the log itself ------------------------------------------
+
+
+def test_append_then_read_round_trips(log_path):
+    store = ResultStore(log_path)
+    store.append("k1", record(1))
+    store.append_many([("k2", record(2)), ("k3", record(3))])
+    entries = store.entries()
+    assert sorted(entries) == ["k1", "k2", "k3"]
+    assert entries["k2"]["tag"] == 2
+
+
+def test_later_appends_supersede_earlier_ones(log_path):
+    store = ResultStore(log_path)
+    store.append("k", record("old"))
+    store.append("k", record("new"))
+    assert store.entries()["k"]["tag"] == "new"
+    stats = store.stats()
+    assert stats["entries"] == 1
+    assert stats["log_lines"] == 2
+    assert stats["dead_lines"] == 1
+
+
+def test_survives_truncation_at_every_byte_offset(log_path):
+    """The WAL contract, exhaustively: chop the log after any prefix and
+    every entry whose line survived intact is still served."""
+    store = ResultStore(log_path)
+    for i in range(6):
+        store.append(f"k{i}", record(i))
+    pristine = log_path.read_bytes()
+    line_ends = [
+        i + 1 for i, byte in enumerate(pristine) if byte == ord("\n")
+    ]
+    for cut in range(len(pristine) + 1):
+        log_path.write_bytes(pristine[:cut])
+        entries = ResultStore(log_path).entries()
+        intact_lines = sum(1 for end in line_ends if end <= cut)
+        expected = max(0, intact_lines - 1)  # minus the header line
+        assert len(entries) == expected, f"cut at byte {cut}"
+        for key, value in entries.items():
+            assert value == record(int(key[1:]))  # never corrupted data
+    log_path.write_bytes(pristine)
+
+
+def test_append_after_torn_tail_seals_the_damage(log_path):
+    store = ResultStore(log_path)
+    store.append("ok", record(0))
+    store.append("torn", record(1))
+    with open(log_path, "r+b") as handle:
+        handle.truncate(os.path.getsize(log_path) - 5)
+    store.append("fresh", record(2))
+    entries = store.entries()
+    # The torn entry is gone; the sealed write is intact.
+    assert sorted(entries) == ["fresh", "ok"]
+
+
+def test_garbage_line_in_the_middle_is_skipped(log_path):
+    store = ResultStore(log_path)
+    store.append("a", record(1))
+    with open(log_path, "a") as handle:
+        handle.write("{not json at all\n")
+        handle.write(json.dumps({"key": 7, "record": record(1)}) + "\n")
+    store.append("b", record(2))
+    assert sorted(store.entries()) == ["a", "b"]
+
+
+def test_compact_drops_dead_lines_and_bumps_generation(log_path):
+    store = ResultStore(log_path)
+    for i in range(20):
+        store.append("hot", record(i))
+    store.append("cold", record("x"))
+    assert store.stats()["dead_lines"] == 19
+    stats = store.compact()
+    assert stats["dead_lines"] == 0
+    assert stats["log_lines"] == 2
+    assert stats["generation"] == 1
+    entries = store.entries()
+    assert entries["hot"]["tag"] == 19
+    assert entries["cold"]["tag"] == "x"
+
+
+def test_concurrent_appenders_converge_to_the_union(log_path):
+    """Many threads (each its own ResultStore handle — distinct clients
+    in one process share nothing but the file) write disjoint keys; the
+    log must end up holding every one of them."""
+    writers, per_writer = 8, 25
+    errors = []
+
+    def write(writer):
+        try:
+            store = ResultStore(log_path)
+            for i in range(per_writer):
+                store.append(f"w{writer}-k{i}", record(writer))
+        except Exception as exc:  # pragma: no cover
+            errors.append(exc)
+
+    threads = [
+        threading.Thread(target=write, args=(w,)) for w in range(writers)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    entries = ResultStore(log_path).entries()
+    assert len(entries) == writers * per_writer
+    for writer in range(writers):
+        for i in range(per_writer):
+            assert entries[f"w{writer}-k{i}"]["tag"] == writer
+
+
+# -- StoreClient: the per-backend view ------------------------------------
+
+
+def test_write_behind_flushes_by_count(log_path):
+    client = StoreClient(log_path, flush_every=4, background=False)
+    for i in range(3):
+        client.put(f"k{i}", record(i))
+    assert ResultStore(log_path).entries() == {}  # still buffered
+    assert client.peek("k0") is not None  # but served locally
+    client.put("k3", record(3))  # 4th put crosses the threshold
+    assert len(ResultStore(log_path).entries()) == 4
+    assert client.stats["pending_writes"] == 0
+
+
+def test_read_through_sees_other_clients_appends(log_path):
+    writer = StoreClient(log_path, background=False)
+    reader = StoreClient(log_path, background=False)
+    assert reader.get("shared") is None
+    writer.put("shared", record("w"))
+    writer.flush()
+    # The miss path tail-reads the log before answering.
+    hit = reader.get("shared")
+    assert hit == record("w")
+    assert reader.stats["hits"] >= 1
+
+
+def test_save_is_a_flush_and_service_sees_a_path(log_path):
+    client = StoreClient(log_path, background=False)
+    assert client.path == log_path  # FeedbackService persistence engages
+    client.put("k", record(1))
+    saved = client.save()
+    assert saved == log_path
+    assert "k" in ResultStore(log_path).entries()
+
+
+def test_concurrent_clients_converge_to_the_union(log_path):
+    clients = [
+        StoreClient(log_path, flush_every=5, background=False)
+        for _ in range(4)
+    ]
+    for index, client in enumerate(clients):
+        for i in range(20):
+            client.put(f"c{index}-k{i}", record(index))
+    for client in clients:
+        client.close()
+    final = ResultStore(log_path).entries()
+    assert len(final) == 80
+    late = StoreClient(log_path, background=False)
+    assert len(late._entries) == 80
+
+
+def test_rotation_detection_after_foreign_compaction(log_path):
+    client = StoreClient(log_path, flush_every=1, background=False)
+    for i in range(10):
+        client.put("same-key", record(i))
+    other = ResultStore(log_path)
+    other.compact()
+    other.append("post-compact", record("new"))
+    assert client.refresh() >= 1
+    assert client.peek("post-compact") == record("new")
+    assert client.peek("same-key") == record(9)
+    assert client._generation == 1
+
+
+def test_auto_compaction_when_dead_ratio_exceeded(log_path):
+    client = StoreClient(
+        log_path,
+        flush_every=1,
+        compact_ratio=0.5,
+        compact_min_bytes=0,
+        background=False,
+    )
+    for i in range(30):
+        client.put("churner", record(i))
+    assert client.compactions >= 1
+    stats = ResultStore(log_path).stats()
+    assert stats["generation"] >= 1
+    assert stats["dead_ratio"] <= 0.5
+    assert client.peek("churner") == record(29)
+
+
+def test_background_thread_flushes_by_age(log_path):
+    client = StoreClient(
+        log_path, flush_every=10_000, flush_interval_s=0.1
+    )
+    try:
+        client.put("aged", record(1))
+        deadline = 50
+        while deadline and "aged" not in ResultStore(log_path).entries():
+            deadline -= 1
+            threading.Event().wait(0.1)
+        assert "aged" in ResultStore(log_path).entries()
+    finally:
+        client.close()
+
+
+def test_plain_resultcache_reads_a_store_log(log_path):
+    """The log keeps the cache family's grammar: every existing cache
+    consumer (CLI batch --cache, tooling) can read a store file."""
+    store = ResultStore(log_path)
+    store.append("k1", record(1))
+    store.append("k2", record(2))
+    legacy = ResultCache(log_path)
+    assert len(legacy) == 2
+    assert legacy.peek("k1") == record(1)
+
+
+def test_default_flush_threshold_is_sane():
+    assert 1 <= DEFAULT_FLUSH_EVERY <= 256
